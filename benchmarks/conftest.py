@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper artifact (DESIGN.md §3 has the
+experiment index) and asserts the *shape* the paper reports — who
+wins, by what factor, where growth exponents land — while
+pytest-benchmark records the wall-clock cost of the regeneration.
+Benches run each experiment once (``rounds=1``): the experiments are
+deterministic simulations, so repetition would measure nothing new.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,29 @@
+"""Bench F1 — Figure 1's liveness-lemma chain, checked on traces.
+
+Lemma 2 (leader proposes a safe value) → Lemma 4 (every correct node
+determines it safe, witnessed by vote-1) → Lemma 5 (every correct node
+decides it), in a post-view-change view led by a correct leader.
+"""
+
+from __future__ import annotations
+
+from repro.eval.fig1_lemmas import run_lemma_chain
+
+
+def test_fig1_lemma_chain(once):
+    result = once(run_lemma_chain, n=4)
+    print()
+    print(
+        f"view={result.view} lemma2={result.lemma2_leader_proposed} "
+        f"lemma4={result.lemma4_all_determined_safe} "
+        f"lemma5={result.lemma5_all_decided} value={result.agreed_value!r}"
+    )
+    assert result.lemma2_leader_proposed
+    assert result.lemma4_all_determined_safe
+    assert result.lemma5_all_decided
+    assert result.chain_holds
+
+
+def test_fig1_lemma_chain_larger_system(once):
+    result = once(run_lemma_chain, n=7)
+    assert result.chain_holds

@@ -1,0 +1,30 @@
+"""Bench F2 — regenerate Figure 2 (pipelined good case).
+
+Asserts the commit cadence (one block per message delay after a
+5-delay fill) and the multi-shot vs repeated-single-shot speedup
+approaching the paper's 5×.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.fig2_pipeline import run_pipeline
+
+
+def test_fig2_pipeline(once):
+    result = once(run_pipeline, n=4, blocks=30)
+    print()
+    print(f"first finalization: t={result.finalize_times[0][0]} (paper: 5)")
+    print(f"cadence: {result.steady_state_cadence:.3f} delays/block (paper: 1)")
+    print(f"speedup: {result.speedup:.2f}x (paper: 5x in the limit)")
+    # Pipeline fill: the first block finalizes after exactly 5 delays.
+    assert result.finalize_times[0] == (5.0, 1)
+    # Steady state: one block per delay.
+    assert result.steady_state_cadence == pytest.approx(1.0)
+    # All requested blocks finalized.
+    assert result.blocks_finalized == 30
+    # Speedup approaches 5x; with a 30-block run the fill amortizes to >4.2x.
+    assert result.speedup > 4.2
+    # Single-shot throughput is exactly one decision per 5 delays.
+    assert result.singleshot_throughput == pytest.approx(1 / 5)

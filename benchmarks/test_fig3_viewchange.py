@@ -1,0 +1,27 @@
+"""Bench F3 — regenerate Figure 3 (multi-shot view change).
+
+Asserts consistency across correct nodes, the abort-window bound, the
+§6.3 recovery bound (new notarization ≤ 5Δ after the view change), and
+that slots beyond the aborted window resume at view 0.
+"""
+
+from __future__ import annotations
+
+from repro.eval.fig3_viewchange import run_viewchange
+
+
+def test_fig3_viewchange(once):
+    result = once(run_viewchange, n=4, crashed=3, crash_end=25.0, max_slots=12)
+    print()
+    print(f"heights={result.final_heights} aborted={result.aborted_slots}")
+    print(f"recovery in {result.recovery_delays:.0f} delays (paper bound: 5)")
+    assert result.consistent, "correct nodes' finalized chains forked"
+    # Every correct node finalized everything finalizable (12 - 3 tail).
+    assert result.final_heights == [9, 9, 9]
+    # Abort window bounded by the finality latency (paper: at most 5).
+    assert 1 <= result.max_aborted <= 5
+    # §6.3: a new block is notarized within 5Δ of the view change.
+    assert result.recovery_delays <= 5.0
+    # Slots never started before the view change default to view 0
+    # (Figure 3's slot 4 behaviour).
+    assert result.post_recovery_view0_slots, "no view-0 slots after recovery"

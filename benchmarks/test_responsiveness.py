@@ -1,0 +1,39 @@
+"""Bench A2 — optimistic responsiveness (§1, Table 1 column 1).
+
+With the bound Δ fixed and the actual delay δ swept below it, a
+responsive protocol's post-view-change latency must scale with δ
+(TetraBFT: ≤ 7δ once the view change completes) while a
+non-responsive one stays pinned near Δ however fast the network is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.responsiveness import run_responsiveness
+
+
+def test_responsiveness_curves(once):
+    delta_bound = 8.0
+    points = once(run_responsiveness, delta_bound, (0.5, 1.0, 2.0, 4.0, 8.0))
+    print()
+    for p in points:
+        print(
+            f"delta={p.delta_actual:<5} tetrabft={p.tetrabft_latency:<7} "
+            f"blog={p.blog_latency}"
+        )
+    by_delta = {p.delta_actual: p for p in points}
+    # Responsive: latency is exactly 7δ (view-change latency in actual
+    # delays) at every point.
+    for delta, p in by_delta.items():
+        assert p.tetrabft_latency == pytest.approx(7 * delta)
+    # Non-responsive: at the fastest network the blog version is
+    # dominated by its Δ-calibrated wait — observing a fast network
+    # bought it almost nothing.
+    fastest = by_delta[0.5]
+    assert fastest.blog_latency >= delta_bound
+    assert fastest.tetrabft_latency < fastest.blog_latency / 2
+    # When δ = Δ the non-responsive penalty disappears and the blog
+    # version's shorter pipeline wins — the trade the table shows.
+    slowest = by_delta[8.0]
+    assert slowest.blog_latency < slowest.tetrabft_latency

@@ -1,0 +1,36 @@
+"""Bench A1 — communication-complexity scaling (Table 1 bits column).
+
+Fits byte-growth exponents over an n sweep with one forced view change
+per run.  Expected separation: TetraBFT and IT-HS land near the
+quadratic total (O(n²) bits), PBFT's view change pushes it toward the
+cubic (O(n³) worst case).
+"""
+
+from __future__ import annotations
+
+from repro.eval.scaling import PAPER_TOTAL_EXPONENTS, run_scaling
+
+
+def test_scaling_exponents(once):
+    rows = once(run_scaling, ns=(4, 7, 10, 16, 22))
+    print()
+    by_name = {}
+    for row in rows:
+        print(
+            f"{row.protocol:10s} total-exp={row.total_exponent:.2f} "
+            f"(paper {PAPER_TOTAL_EXPONENTS[row.protocol]:.0f}) "
+            f"per-node-exp={row.per_node_exponent:.2f}"
+        )
+        by_name[row.protocol] = row
+    # Quadratic protocols: total exponent ≈ 2, per-node ≈ 1 (linear).
+    for name in ("tetrabft", "it-hs"):
+        assert 1.7 <= by_name[name].total_exponent <= 2.2, name
+        assert by_name[name].per_node_exponent <= 1.2, name
+    # PBFT's view change: clearly super-quadratic total, super-linear
+    # per node, and separated from the quadratic protocols.
+    pbft = by_name["pbft"]
+    assert pbft.total_exponent >= 2.5
+    assert pbft.per_node_exponent >= 1.5
+    assert pbft.total_exponent > by_name["tetrabft"].total_exponent + 0.5
+    # Absolute volumes tell the same story at the largest n.
+    assert pbft.total_bytes[-1] > 4 * by_name["tetrabft"].total_bytes[-1]

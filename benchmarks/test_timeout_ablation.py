@@ -1,0 +1,35 @@
+"""Bench A3 — the 9Δ view-timeout justification (§3.2).
+
+Under a crashed leader plus adversarial within-bound delay skew, too
+small a timeout keeps aborting views that were about to decide, while
+the paper's 9Δ budget (and anything comfortably above the true
+requirement) decides after a single view change.
+"""
+
+from __future__ import annotations
+
+from repro.eval.timeout_ablation import run_timeout_ablation
+
+
+def test_timeout_ablation(once):
+    points = once(run_timeout_ablation, (2.0, 3.0, 5.0, 7.0, 9.0, 12.0))
+    print()
+    by_timeout = {}
+    for p in points:
+        print(
+            f"timeout={p.timeout_delays:>5}Δ decided={p.all_decided} "
+            f"t={p.decision_time} views={p.views_entered}"
+        )
+        by_timeout[p.timeout_delays] = p
+    # Far too tight: liveness is lost within the horizon and views churn.
+    assert not by_timeout[2.0].all_decided
+    assert by_timeout[2.0].views_entered > 20
+    # The paper's 9Δ (and anything above the true budget): decides
+    # after a single view change.
+    for timeout in (9.0, 12.0):
+        assert by_timeout[timeout].all_decided
+        assert by_timeout[timeout].views_entered == 1
+    # Monotone benefit: once decided, a bigger timeout only delays the
+    # (fixed single) view change, never costs extra views.
+    decided = [p for p in points if p.all_decided]
+    assert all(p.views_entered == 1 for p in decided)

@@ -1,0 +1,62 @@
+"""Bench V5 — regenerate the Section 5 formal-verification result.
+
+The paper verifies agreement for 4 nodes / 1 Byzantine / 3 values /
+5 views by proving an invariant inductive with Apalache.  We
+exhaustively explore the same transition system (wildcard-Byzantine +
+symmetry reduction) at explicit-search bounds, check agreement and
+every invariant conjunct on all reachable states, verify bounded
+liveness, and run the deterministic inductive-step pass.
+"""
+
+from __future__ import annotations
+
+from repro.eval.verification_run import run_verification
+from repro.verification import ModelConfig
+
+
+def test_verification_exhaustive(once):
+    summary = once(
+        run_verification,
+        explore_config=ModelConfig(n=4, f=1, num_values=2, max_round=1),
+        liveness_config=ModelConfig(
+            n=4, f=1, num_values=2, max_round=1, byz_support=False, good_round=1
+        ),
+        max_states=400_000,
+    )
+    print()
+    print(f"agreement over {summary.agreement_states} states: {summary.agreement_ok}")
+    print(f"invariants over {summary.invariant_states} states: {summary.invariant_ok}")
+    print(
+        f"liveness over {summary.liveness_states} states "
+        f"({summary.liveness_deadlocks} deadlocks): {summary.liveness_ok}"
+    )
+    print(
+        f"inductive step: {summary.inductive_states_checked} states / "
+        f"{summary.inductive_steps_checked} steps: {summary.inductive_ok}"
+    )
+    assert summary.agreement_ok
+    assert summary.invariant_ok
+    assert summary.liveness_ok
+    assert summary.inductive_ok
+    # The exploration is genuinely exhaustive at these bounds (no
+    # truncation) and non-trivial in size.
+    assert summary.agreement_states > 100_000
+
+
+def test_verification_three_values_bounded(once):
+    """The paper's 3-value bound, explored to a large explicit cap.
+
+    Full exhaustion at 3 values × 2 rounds is beyond explicit search
+    (that is why the authors used a symbolic checker); agreement must
+    still hold on every state we do reach.
+    """
+    from repro.verification import check_agreement
+
+    result = once(
+        check_agreement,
+        ModelConfig(n=4, f=1, num_values=3, max_round=1),
+        max_states=150_000,
+    )
+    print()
+    print(f"3-value bounded sweep: {result.states_explored} states, ok={result.ok}")
+    assert result.ok

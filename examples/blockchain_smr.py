@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""A replicated key-value blockchain over Multi-shot TetraBFT.
+
+The deployment the paper's introduction motivates: four replicas run
+pipelined TetraBFT, clients stream transactions into their mempools,
+leaders batch them into blocks, and every finalized block executes on
+a deterministic KV store.  The pipeline commits one block per message
+delay (Figure 2), so throughput ≈ batch size per delay.
+
+The script prints the finalized chain, per-replica state digests
+(identical — that's the whole point), and the measured throughput.
+
+Run:  python examples/blockchain_smr.py
+"""
+
+from __future__ import annotations
+
+from repro import MultiShotConfig, ProtocolConfig, Replica, Simulation, Transaction
+from repro.sim import SynchronousDelays
+from repro.workloads import UniformWorkload
+
+
+def main() -> None:
+    n, batch, txn_count = 4, 10, 300
+    config = MultiShotConfig(
+        base=ProtocolConfig.create(n), max_slots=txn_count // batch + 8
+    )
+    sim = Simulation(SynchronousDelays(1.0))
+    replicas = [Replica(i, config, max_batch=batch) for i in range(n)]
+    for replica in replicas:
+        sim.add_node(replica)
+
+    # An open-loop client stream, broadcast to every replica.
+    workload = UniformWorkload(count=txn_count, rate=15.0, seed=7)
+    injected = workload.inject(sim, replicas)
+    print(f"injecting {injected} transactions at 15 txn/delay ...")
+
+    end = sim.run(until=txn_count / 10 + 60)
+
+    chain = replicas[0].finalized_chain
+    print(f"\nfinalized chain height: {len(chain)} blocks by t={end}")
+    for block in chain[:5]:
+        size = len(block.payload) if isinstance(block.payload, tuple) else 0
+        print(f"  slot {block.slot}: {size:3d} txns  digest {block.digest}")
+    print("  ...")
+
+    print("\nreplica state digests (must be identical):")
+    for replica in replicas:
+        print(
+            f"  replica {replica.node_id}: {replica.state_digest()} "
+            f"({replica.store.applied_count} txns applied)"
+        )
+    digests = {r.state_digest() for r in replicas}
+    assert len(digests) == 1, "replicas diverged!"
+
+    applied = replicas[0].store.applied_count
+    print(f"\nthroughput: {applied / end:.1f} committed txns per message delay")
+    print("(pipelining: one block of", batch, "txns finalizes every delay in steady state)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Side-by-side protocol comparison — a live rendering of Table 1.
+
+Runs TetraBFT against IT-HS, the non-responsive IT-HS blog variant, and
+unauthenticated PBFT under identical conditions, and prints the
+good-case latency, view-change latency, and communication volumes.
+
+Also demonstrates responsiveness: with the network suddenly much faster
+than the configured Δ bound, responsive protocols speed up
+proportionally while the non-responsive one stays pinned at Δ.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import format_table
+from repro.eval.responsiveness import run_responsiveness
+from repro.eval.table1 import PROTOCOLS, measure_good_case, measure_view_change
+
+
+def main() -> None:
+    rows = []
+    for entry in PROTOCOLS:
+        rows.append(
+            {
+                "protocol": entry.name,
+                "good-case (measured)": measure_good_case(entry, n=4),
+                "good-case (paper)": entry.paper_good_case,
+                "view-change (measured)": measure_view_change(entry, n=4),
+                "view-change (paper)": entry.paper_view_change,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            [
+                "protocol",
+                "good-case (measured)",
+                "good-case (paper)",
+                "view-change (measured)",
+                "view-change (paper)",
+            ],
+            title="Latencies in message delays (n=4, unit-delay network)",
+        )
+    )
+
+    print("\nResponsiveness (Δ bound = 8, actual network delay δ swept):")
+    print("  δ      TetraBFT   IT-HS-blog")
+    for point in run_responsiveness(delta_bound=8.0, actual_deltas=(0.5, 2.0, 8.0)):
+        print(
+            f"  {point.delta_actual:<6} {point.tetrabft_latency:<10} "
+            f"{point.blog_latency}"
+        )
+    print("  → TetraBFT's post-view-change latency is 7δ: it tracks the real")
+    print("    network.  The non-responsive variant waits out Δ regardless.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Dispatches to the evaluation harness so every paper artifact can be
+regenerated without remembering module paths:
+
+    python -m repro table1
+    python -m repro fig2
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval import fig1_lemmas, fig2_pipeline, fig3_viewchange
+from repro.eval import hardening_ablation, responsiveness, scaling
+from repro.eval import table1, timeout_ablation, verification_run
+
+EXPERIMENTS = {
+    "table1": (table1.main, "Table 1 — protocol comparison"),
+    "fig1": (fig1_lemmas.main, "Figure 1 — liveness lemma chain"),
+    "fig2": (fig2_pipeline.main, "Figure 2 — pipelined good case"),
+    "fig3": (fig3_viewchange.main, "Figure 3 — multi-shot view change"),
+    "verification": (verification_run.main, "Section 5 — formal verification"),
+    "scaling": (scaling.main, "A1 — communication scaling"),
+    "responsiveness": (responsiveness.main, "A2 — optimistic responsiveness"),
+    "timeout": (timeout_ablation.main, "A3 — 9Δ timeout justification"),
+    "hardening": (hardening_ablation.main, "Ablation — liveness hardening"),
+}
+
+
+def usage() -> str:
+    lines = ["usage: python -m repro <experiment>", "", "experiments:"]
+    for name, (_fn, description) in EXPERIMENTS.items():
+        lines.append(f"  {name:15s} {description}")
+    lines.append(f"  {'all':15s} run every experiment in sequence")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) != 1 or args[0] in ("-h", "--help"):
+        print(usage())
+        return 0 if args and args[0] in ("-h", "--help") else 2
+    name = args[0]
+    if name == "all":
+        for key, (fn, description) in EXPERIMENTS.items():
+            print(f"\n##### {key}: {description} #####")
+            fn()
+        return 0
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}\n\n{usage()}", file=sys.stderr)
+        return 2
+    EXPERIMENTS[name][0]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

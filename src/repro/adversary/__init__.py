@@ -1,0 +1,19 @@
+"""Byzantine node behaviours for fault-injection tests and benches."""
+
+from repro.adversary.byzantine import (
+    ChaosMonkey,
+    CrashNode,
+    EquivocatingLeader,
+    HistoryFabricator,
+    SilentNode,
+    VoteWithholder,
+)
+
+__all__ = [
+    "ChaosMonkey",
+    "CrashNode",
+    "EquivocatingLeader",
+    "HistoryFabricator",
+    "SilentNode",
+    "VoteWithholder",
+]

@@ -1,0 +1,306 @@
+"""Byzantine node behaviours.
+
+The paper's model allows up to ``f`` nodes to deviate arbitrarily.
+These classes implement the deviations the security analysis worries
+about, each as a :class:`~repro.sim.runner.SimNode` that can be dropped
+into a simulation in place of an honest :class:`TetraBFTNode`:
+
+* :class:`SilentNode` — never sends anything (crash-from-start);
+* :class:`CrashNode` — honest until a scheduled crash time, then silent;
+* :class:`EquivocatingLeader` — proposes different values to different
+  halves of the network when it leads, and votes both ways;
+* :class:`VoteWithholder` — honest except it never sends chosen phases,
+  starving the pipeline (a targeted liveness attack);
+* :class:`HistoryFabricator` — replies to view changes with forged
+  suggest/proof histories claiming arbitrary values were voted at
+  arbitrary views, the attack Rules 1–4 are engineered to survive;
+* :class:`ChaosMonkey` — the ``ByzantineHavoc`` of the TLA+ spec: a
+  seeded stream of random, type-correct protocol messages sprayed at
+  random subsets of nodes.
+
+None of these can forge sender identity — channels are authenticated —
+but all of them can lie about content, which is the entire difficulty
+of the unauthenticated setting.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import Proof, Proposal, Suggest, ViewChange, Vote, VoteRecord
+from repro.core.node import TetraBFTNode
+from repro.core.values import Phase, Value
+from repro.quorums.system import NodeId
+from repro.sim.runner import NodeContext, SimNode
+
+
+class SilentNode(SimNode):
+    """A node that crashed before the protocol began."""
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+
+    def start(self, ctx: NodeContext) -> None:
+        del ctx
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        del sender, message
+
+
+class CrashNode(SimNode):
+    """Honest behaviour until ``crash_time``, then nothing forever.
+
+    Wraps a real :class:`TetraBFTNode`, so pre-crash behaviour is
+    exactly the protocol's.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ProtocolConfig,
+        initial_value: Value,
+        crash_time: float,
+    ) -> None:
+        self.node_id = node_id
+        self.crash_time = crash_time
+        self._inner = TetraBFTNode(node_id, config, initial_value)
+        self._ctx: NodeContext | None = None
+
+    @property
+    def crashed(self) -> bool:
+        return self._ctx is not None and self._ctx.now >= self.crash_time
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+        self._inner.start(ctx)
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        if self.crashed:
+            return
+        self._inner.receive(sender, message)
+
+
+class EquivocatingLeader(SimNode):
+    """Sends value A to one half and value B to the other when leading.
+
+    It also casts conflicting votes (phase by phase, one value per
+    half) to push both candidate values as far through the pipeline as
+    it can.  Within-view safety must hold regardless — that is Lemma 6,
+    and the integration tests assert it against this node.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ProtocolConfig,
+        value_a: Value,
+        value_b: Value,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.value_a = value_a
+        self.value_b = value_b
+        self._ctx: NodeContext | None = None
+        self._proposed_views: set[int] = set()
+        self._voted: set[tuple[int, Phase]] = set()
+
+    def _halves(self) -> tuple[list[NodeId], list[NodeId]]:
+        ids = self.config.node_ids
+        mid = len(ids) // 2
+        return ids[:mid], ids[mid:]
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+        self._maybe_equivocate_proposal(view=0)
+
+    def _maybe_equivocate_proposal(self, view: int) -> None:
+        if self._ctx is None or view in self._proposed_views:
+            return
+        if self.config.leader_of(view) != self.node_id:
+            return
+        self._proposed_views.add(view)
+        half_a, half_b = self._halves()
+        for dst in half_a:
+            self._ctx.send(dst, Proposal(view, self.value_a))
+        for dst in half_b:
+            self._ctx.send(dst, Proposal(view, self.value_b))
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        if self._ctx is None:
+            return
+        if isinstance(message, ViewChange):
+            self._maybe_equivocate_proposal(message.view)
+            return
+        if isinstance(message, (Suggest, Proof)):
+            self._maybe_equivocate_proposal(message.view)
+            return
+        if isinstance(message, Vote):
+            # Echo the vote one phase ahead, to each half with its value.
+            key = (message.view, message.phase)
+            if key in self._voted:
+                return
+            self._voted.add(key)
+            half_a, half_b = self._halves()
+            for dst in half_a:
+                self._ctx.send(dst, Vote(message.phase, message.view, self.value_a))
+            for dst in half_b:
+                self._ctx.send(dst, Vote(message.phase, message.view, self.value_b))
+
+
+class VoteWithholder(SimNode):
+    """Honest, except chosen vote phases are silently dropped.
+
+    With ``f`` withholders the remaining ``n - f`` honest nodes still
+    form quorums, so the protocol must stay live; the tests check
+    exactly that.  (A withholder still receives and counts messages —
+    it is a participation attack, not a crash.)
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ProtocolConfig,
+        initial_value: Value,
+        withheld_phases: Sequence[Phase] = (Phase.VOTE3, Phase.VOTE4),
+    ) -> None:
+        self.node_id = node_id
+        self.withheld = frozenset(withheld_phases)
+        self._inner = TetraBFTNode(node_id, config, initial_value)
+
+    def start(self, ctx: NodeContext) -> None:
+        self._inner.start(_FilteredContext(ctx, self.withheld))
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        self._inner.receive(sender, message)
+
+
+class _FilteredContext(NodeContext):
+    """Context proxy that swallows broadcasts of withheld vote phases."""
+
+    def __init__(self, real: NodeContext, withheld: frozenset[Phase]) -> None:
+        super().__init__(real.node_id, real._sim)
+        self._withheld = withheld
+
+    def broadcast(self, message: object) -> None:
+        if isinstance(message, Vote) and message.phase in self._withheld:
+            return
+        super().broadcast(message)
+
+
+class HistoryFabricator(SimNode):
+    """Forges suggest/proof histories during view changes.
+
+    On every view-change signal it sends, to the new leader and to all
+    nodes, histories claiming it voted for ``poison_value`` at the
+    highest views imaginable — trying to make Rule 1/Rule 3 admit an
+    unsafe value.  Because it is a single node (less than a blocking
+    set), its lies must never suffice on their own; the safety property
+    tests run this node alongside honest majorities and assert
+    agreement still holds.
+    """
+
+    def __init__(
+        self, node_id: NodeId, config: ProtocolConfig, poison_value: Value
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.poison_value = poison_value
+        self._ctx: NodeContext | None = None
+        self._forged_views: set[int] = set()
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        if self._ctx is None or not isinstance(message, ViewChange):
+            return
+        if sender == self.node_id:
+            return  # our own loop-back echo; reacting would recurse forever
+        view = message.view
+        if view in self._forged_views:
+            return
+        self._forged_views.add(view)
+        forged_high = VoteRecord(view=max(view - 1, 0), value=self.poison_value)
+        forged_prev = VoteRecord(view=max(view - 2, 0), value=("bogus", view))
+        suggest = Suggest(
+            view=view, vote2=forged_high, prev_vote2=forged_prev, vote3=forged_high
+        )
+        proof = Proof(
+            view=view, vote1=forged_high, prev_vote1=forged_prev, vote4=forged_high
+        )
+        self._ctx.send(self.config.leader_of(view), suggest)
+        self._ctx.broadcast(proof)
+        # Also echo the view change so it does not slow the honest nodes.
+        self._ctx.broadcast(ViewChange(view))
+
+
+class ChaosMonkey(SimNode):
+    """Seeded random Byzantine havoc (the TLA+ ``ByzantineHavoc`` action).
+
+    Every ``period`` time units it sprays a burst of random,
+    well-formed protocol messages — votes of any phase for any value at
+    nearby views, proposals, forged suggests/proofs, and view-changes —
+    each to an independently chosen random subset of nodes.  Used by
+    the property-based safety tests: whatever the monkey does, honest
+    nodes must never disagree.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ProtocolConfig,
+        values: Sequence[Value],
+        seed: int = 0,
+        period: float = 1.0,
+        burst: int = 6,
+        horizon: float = 200.0,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.values = list(values)
+        self.period = period
+        self.burst = burst
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+        self._ctx: NodeContext | None = None
+        self._view_hint = 0
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+        ctx.set_timer(self.period, self._tick)
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        view = getattr(message, "view", None)
+        if isinstance(view, int):
+            self._view_hint = max(self._view_hint, view)
+
+    def _random_message(self) -> object:
+        rng = self._rng
+        view = max(0, self._view_hint + rng.randint(-1, 2))
+        value = rng.choice(self.values)
+        kind = rng.randrange(5)
+        if kind == 0:
+            return Proposal(view, value)
+        if kind == 1:
+            return Vote(Phase(rng.randint(1, 4)), view, value)
+        if kind == 2:
+            record = VoteRecord(max(0, view - rng.randint(0, 2)), value)
+            other = VoteRecord(max(0, view - rng.randint(0, 3)), rng.choice(self.values))
+            return Suggest(view, vote2=record, prev_vote2=other, vote3=record)
+        if kind == 3:
+            record = VoteRecord(max(0, view - rng.randint(0, 2)), value)
+            other = VoteRecord(max(0, view - rng.randint(0, 3)), rng.choice(self.values))
+            return Proof(view, vote1=record, prev_vote1=other, vote4=record)
+        return ViewChange(view + 1)
+
+    def _tick(self) -> None:
+        if self._ctx is None or self._ctx.now > self.horizon:
+            return
+        targets = list(self.config.node_ids)
+        for _ in range(self.burst):
+            message = self._random_message()
+            dst = self._rng.choice(targets)
+            self._ctx.send(dst, message)
+        self._ctx.set_timer(self.period, self._tick)

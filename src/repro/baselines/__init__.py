@@ -1,0 +1,42 @@
+"""Table 1 baseline protocols behind one generic chained-voting machine."""
+
+from repro.baselines.base import (
+    BaselineSpec,
+    BPhaseVote,
+    BProposal,
+    BRound,
+    BViewChange,
+    ChainVotingNode,
+    PreRound,
+    RoundKind,
+)
+from repro.baselines.ithotstuff import IT_HS_SPEC, ITHotStuffNode
+from repro.baselines.ithotstuff_blog import IT_HS_BLOG_SPEC, ITHotStuffBlogNode
+from repro.baselines.li import LI_SPEC, LiNode
+from repro.baselines.pbft import (
+    PBFT_BOUNDED_SPEC,
+    PBFT_UNBOUNDED_SPEC,
+    PBFTNode,
+    PBFTUnboundedNode,
+)
+
+__all__ = [
+    "BPhaseVote",
+    "BProposal",
+    "BRound",
+    "BViewChange",
+    "BaselineSpec",
+    "ChainVotingNode",
+    "IT_HS_BLOG_SPEC",
+    "IT_HS_SPEC",
+    "ITHotStuffBlogNode",
+    "ITHotStuffNode",
+    "LI_SPEC",
+    "LiNode",
+    "PBFTNode",
+    "PBFTUnboundedNode",
+    "PBFT_BOUNDED_SPEC",
+    "PBFT_UNBOUNDED_SPEC",
+    "PreRound",
+    "RoundKind",
+]

@@ -1,0 +1,424 @@
+"""Generic chained-voting machine underlying the Table 1 baselines.
+
+Every protocol in the paper's Table 1 follows the same skeleton:
+
+    [view entry] → (pre-proposal rounds) → propose → phase₁ → … → phaseₖ
+    → decide on a quorum of phaseₖ; timeout → view-change.
+
+What distinguishes them is the number of phases, the number and shape
+of the view-change rounds, whether the leader is optimistically
+responsive or waits out a Δ-sized timer, and the size of the
+view-change payloads.  :class:`ChainVotingNode` implements the skeleton
+once, parameterized by a :class:`BaselineSpec`; the concrete modules
+(:mod:`repro.baselines.ithotstuff`, :mod:`repro.baselines.pbft`, …)
+are thin spec factories.
+
+These are **honest reconstructions at Table 1 granularity** (phase
+structure, responsiveness, message sizes, storage growth), not full
+reproductions of the cited systems: safe-value selection after a view
+change uses a simple highest-lock rule, adequate under the crash
+faults the comparison benches inject, rather than each paper's
+complete Byzantine view-change logic.  TetraBFT itself — the system
+under study — has its full rules implemented in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.quorums.system import NodeId
+from repro.sim.events import EventHandle
+from repro.sim.runner import NodeContext, SimNode
+from repro.sim.trace import TraceKind
+
+
+class RoundKind(Enum):
+    """How a pre-proposal (view-change) round flows."""
+
+    TO_LEADER = "to_leader"
+    BROADCAST = "broadcast"
+    FROM_LEADER = "from_leader"
+
+
+@dataclass(frozen=True)
+class PreRound:
+    """One view-change round: name, direction, and payload size.
+
+    ``payload_entries(n)`` models the round's message size in "entries"
+    (8 bytes each): PBFT's view-change carries O(n) prepared
+    certificates, TetraBFT's and IT-HS's carry O(1) vote records.
+    """
+
+    name: str
+    kind: RoundKind
+    payload_entries_per_n: int = 0
+    payload_entries_const: int = 2
+
+    def payload_entries(self, n: int) -> int:
+        return self.payload_entries_const + self.payload_entries_per_n * n
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """Static description of one Table 1 protocol."""
+
+    name: str
+    #: names of the voting phases after the proposal (k phases ⇒
+    #: good-case latency 1 + k message delays).
+    phases: tuple[str, ...]
+    #: view-change rounds between view entry and the new proposal.
+    pre_rounds: tuple[PreRound, ...] = ()
+    #: non-responsive protocols make the new leader wait a full Δ-bound
+    #: timer before proposing instead of proposing on quorum receipt.
+    responsive: bool = True
+    #: keep a full message log (the PBFT-unbounded / Li et al. rows).
+    unbounded_log: bool = False
+    #: entries in the timeout-triggered view-change message itself.
+    vc_payload_entries_per_n: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("a protocol needs at least one voting phase")
+
+    @property
+    def good_case_latency(self) -> int:
+        """Analytic good-case latency in message delays (proposal + phases)."""
+        return 1 + len(self.phases)
+
+    @property
+    def view_change_latency(self) -> int:
+        """Analytic latency of a view beginning with a view-change."""
+        return 1 + len(self.pre_rounds) + self.good_case_latency
+
+
+# -- messages -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BProposal:
+    protocol: str
+    view: int
+    value: object
+
+
+@dataclass(frozen=True)
+class BPhaseVote:
+    protocol: str
+    view: int
+    phase: int
+    value: object
+
+
+@dataclass(frozen=True)
+class BViewChange:
+    protocol: str
+    view: int
+    lock_view: int
+    lock_value: object
+    entries: int = 2
+
+    def wire_size(self) -> int:
+        return 16 + 8 * self.entries
+
+
+@dataclass(frozen=True)
+class BRound:
+    """A pre-proposal round message (suggest / request / ack / new-view…)."""
+
+    protocol: str
+    view: int
+    round_index: int
+    lock_view: int
+    lock_value: object
+    entries: int = 2
+
+    def wire_size(self) -> int:
+        return 24 + 8 * self.entries
+
+
+@dataclass
+class _BViewState:
+    proposal: BProposal | None = None
+    phase_votes: dict[tuple[int, object], set[NodeId]] = field(default_factory=dict)
+    sent_phase: set[int] = field(default_factory=set)
+    round_msgs: dict[int, dict[NodeId, BRound]] = field(default_factory=dict)
+    rounds_done: int = 0
+    rounds_emitted: set[int] = field(default_factory=set)
+    proposed: bool = False
+    wait_elapsed: bool = False
+
+
+class ChainVotingNode(SimNode):
+    """A well-behaved node of a :class:`BaselineSpec` protocol."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ProtocolConfig,
+        spec: BaselineSpec,
+        initial_value: object,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.spec = spec
+        self.initial_value = initial_value
+        self.view = 0
+        self.decided = False
+        self.decided_value: object | None = None
+        # The O(1) persistent state: the highest "locked" value, i.e.
+        # the newest value seen at the penultimate phase.
+        self.lock_view = -1
+        self.lock_value: object | None = None
+        self._state = _BViewState()
+        self._vc_senders: dict[int, set[NodeId]] = {}
+        self._highest_vc_sent = 0
+        self._ctx: NodeContext | None = None
+        self._timer: EventHandle | None = None
+        self._log_entries = 0  # grows forever when spec.unbounded_log
+        self._wait_ready: set[int] = set()  # views whose Δ wait elapsed
+
+    # -- plumbing ------------------------------------------------------------------
+
+    @property
+    def ctx(self) -> NodeContext:
+        assert self._ctx is not None
+        return self._ctx
+
+    def _is_leader(self, view: int) -> bool:
+        return self.config.leader_of(view) == self.node_id
+
+    def _report_storage(self) -> None:
+        base = 4 * 16  # lock + view + decision bookkeeping
+        if self.spec.unbounded_log:
+            base += 16 * self._log_entries
+        self.ctx.report_storage(base)
+
+    def _log(self, entries: int = 1) -> None:
+        if self.spec.unbounded_log:
+            self._log_entries += entries
+            self._report_storage()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+        self._enter_view(0, initial=True)
+
+    def _enter_view(self, view: int, initial: bool = False) -> None:
+        if not initial and view <= self.view:
+            return
+        self.view = view
+        self._state = _BViewState()
+        self._vc_senders = {v: s for v, s in self._vc_senders.items() if v > view}
+        self._arm_timer()
+        self.ctx.report_view_entry(view)
+        if view > 0:
+            self._advance_rounds()
+            if view in self._wait_ready:
+                self._state.wait_elapsed = True
+        self._maybe_propose()
+
+    def _wait_done(self, view: int) -> None:
+        """The non-responsive Δ wait elapsed for ``view``."""
+        self._wait_ready.add(view)
+        if view == self.view:
+            self._state.wait_elapsed = True
+            self._maybe_propose()
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        view_at_arm = self.view
+        self._timer = self.ctx.set_timer(
+            self.config.view_timeout, lambda: self._on_timeout(view_at_arm)
+        )
+
+    def _on_timeout(self, view: int) -> None:
+        if view != self.view:
+            return
+        self.ctx.trace(TraceKind.TIMER, view=view)
+        if not self.decided:
+            self._send_view_change(self.view + 1, force=True)
+        self._arm_timer()
+
+    def _send_view_change(self, view: int, force: bool = False) -> None:
+        if view < self._highest_vc_sent or (view == self._highest_vc_sent and not force):
+            return
+        self._highest_vc_sent = view
+        entries = 2 + self.spec.vc_payload_entries_per_n * self.config.n
+        self.ctx.trace(TraceKind.VIEW_CHANGE_SENT, view=view)
+        self.ctx.broadcast(
+            BViewChange(
+                self.spec.name, view, self.lock_view, self.lock_value, entries=entries
+            )
+        )
+        if not self.spec.responsive and self._is_leader(view):
+            # Non-responsive protocols: the incoming leader starts its
+            # Δ-bound collection wait the moment it learns a view
+            # change is underway (its own timer / the f+1 echo), which
+            # is why the wait overlaps the view-change delay when
+            # δ = Δ and dominates when δ ≪ Δ.
+            self.ctx.set_timer(self.config.delta, lambda: self._wait_done(view))
+
+    # -- receive ------------------------------------------------------------------------
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        protocol = getattr(message, "protocol", None)
+        if protocol != self.spec.name:
+            return
+        self._log()
+        if isinstance(message, BViewChange):
+            self._on_view_change(sender, message)
+        elif isinstance(message, BRound):
+            self._on_round(sender, message)
+        elif isinstance(message, BProposal):
+            self._on_proposal(sender, message)
+        elif isinstance(message, BPhaseVote):
+            self._on_phase_vote(sender, message)
+
+    # -- view change & pre-proposal rounds ----------------------------------------------------
+
+    def _on_view_change(self, sender: NodeId, message: BViewChange) -> None:
+        view = message.view
+        if view <= self.view:
+            return
+        senders = self._vc_senders.setdefault(view, set())
+        senders.add(sender)
+        if self.config.quorum_system.is_blocking(senders) and view > self._highest_vc_sent:
+            self._send_view_change(view)
+        if self.config.quorum_system.is_quorum(senders) and view > self.view:
+            self._enter_view(view)
+
+    def _emit_round(self, round_spec: PreRound, index: int) -> None:
+        """Send this round's message if our role makes us a sender."""
+        message = BRound(
+            protocol=self.spec.name,
+            view=self.view,
+            round_index=index,
+            lock_view=self.lock_view,
+            lock_value=self.lock_value,
+            entries=round_spec.payload_entries(self.config.n),
+        )
+        if round_spec.kind is RoundKind.TO_LEADER:
+            self.ctx.send(self.config.leader_of(self.view), message)
+        elif round_spec.kind is RoundKind.BROADCAST:
+            self.ctx.broadcast(message)
+        elif self._is_leader(self.view):  # FROM_LEADER
+            self.ctx.broadcast(message)
+
+    def _round_complete(self, index: int) -> bool:
+        """Whether this node can consider round ``index`` finished.
+
+        TO_LEADER rounds are only observable at the leader; everyone
+        else just sends and moves on.  FROM_LEADER rounds complete on
+        the leader's (single) message; BROADCAST rounds on a quorum.
+        """
+        spec = self.spec.pre_rounds[index]
+        received = self._state.round_msgs.get(index, {})
+        if spec.kind is RoundKind.TO_LEADER:
+            if not self._is_leader(self.view):
+                return True
+            return self.config.quorum_system.is_quorum(received.keys())
+        if spec.kind is RoundKind.FROM_LEADER:
+            return self.config.leader_of(self.view) in received
+        return self.config.quorum_system.is_quorum(received.keys())
+
+    def _on_round(self, sender: NodeId, message: BRound) -> None:
+        if message.view != self.view:
+            return
+        index = message.round_index
+        if index >= len(self.spec.pre_rounds):
+            return
+        store = self._state.round_msgs.setdefault(index, {})
+        store[sender] = message
+        self._advance_rounds()
+
+    def _advance_rounds(self) -> None:
+        """Emit and complete pre-proposal rounds in order."""
+        state = self._state
+        rounds = self.spec.pre_rounds
+        while state.rounds_done < len(rounds):
+            index = state.rounds_done
+            if index not in state.rounds_emitted:
+                state.rounds_emitted.add(index)
+                self._emit_round(rounds[index], index)
+            if not self._round_complete(index):
+                return
+            state.rounds_done = index + 1
+        self._maybe_propose()
+
+    # -- proposal ---------------------------------------------------------------------------------
+
+    def _maybe_propose(self) -> None:
+        state = self._state
+        if state.proposed or not self._is_leader(self.view):
+            return
+        if self.view > 0:
+            if state.rounds_done < len(self.spec.pre_rounds):
+                return
+            if not self.spec.responsive and not state.wait_elapsed:
+                return
+        state.proposed = True
+        value = self._choose_value()
+        self.ctx.trace(TraceKind.PROPOSE, view=self.view, value=value)
+        self.ctx.broadcast(BProposal(self.spec.name, self.view, value))
+
+    def _choose_value(self) -> object:
+        """Highest-lock selection from the last to-leader round (plus our own)."""
+        best_view, best_value = self.lock_view, self.lock_value
+        for store in self._state.round_msgs.values():
+            for message in store.values():
+                if message.lock_view > best_view and message.lock_value is not None:
+                    best_view, best_value = message.lock_view, message.lock_value
+        if best_value is None:
+            return self.initial_value
+        return best_value
+
+    def _on_proposal(self, sender: NodeId, message: BProposal) -> None:
+        if message.view != self.view or sender != self.config.leader_of(self.view):
+            return
+        if self._state.proposal is not None:
+            return
+        self._state.proposal = message
+        self._cast_phase(0, message.value)
+
+    # -- voting phases ------------------------------------------------------------------------------
+
+    def _on_phase_vote(self, sender: NodeId, message: BPhaseVote) -> None:
+        if message.view != self.view:
+            return
+        key = (message.phase, message.value)
+        supporters = self._state.phase_votes.setdefault(key, set())
+        supporters.add(sender)
+        if not self.config.quorum_system.is_quorum(supporters):
+            return
+        next_phase = message.phase + 1
+        if next_phase >= len(self.spec.phases):
+            self._decide(message.value)
+            return
+        self._cast_phase(next_phase, message.value)
+
+    def _cast_phase(self, phase: int, value: object) -> None:
+        state = self._state
+        if phase in state.sent_phase:
+            return
+        state.sent_phase.add(phase)
+        # The penultimate phase is the "lock" acquisition in all three
+        # baseline protocols (prepare-certificate in PBFT, key phases
+        # in IT-HS): record it as the persistent lock.
+        if phase == len(self.spec.phases) - 1 and self.view > self.lock_view:
+            self.lock_view = self.view
+            self.lock_value = value
+        self._report_storage()
+        self.ctx.trace(TraceKind.VOTE, phase=phase, view=self.view, value=value)
+        self.ctx.broadcast(BPhaseVote(self.spec.name, self.view, phase, value))
+
+    def _decide(self, value: object) -> None:
+        if self.decided:
+            return
+        self.decided = True
+        self.decided_value = value
+        self.ctx.report_decision(value)

@@ -1,0 +1,39 @@
+"""Information-Theoretic HotStuff (Abraham & Stern 2020) — Table 1 baseline.
+
+The responsive, constant-storage, quadratic-communication protocol
+TetraBFT improves on.  Good case (6 message delays): propose, echo,
+key-1, key-2, key-3, lock, deciding on a quorum of lock messages.  A
+view change adds suggest and request rounds before the new proposal
+(proof/abort traffic folded into those rounds' payloads), giving the
+paper's 9-delay view-change latency.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    BaselineSpec,
+    ChainVotingNode,
+    PreRound,
+    RoundKind,
+)
+from repro.core.config import ProtocolConfig
+from repro.quorums.system import NodeId
+
+IT_HS_SPEC = BaselineSpec(
+    name="it-hs",
+    phases=("echo", "key1", "key2", "key3", "lock"),
+    pre_rounds=(
+        PreRound("suggest", RoundKind.TO_LEADER),
+        PreRound("request", RoundKind.FROM_LEADER),
+    ),
+    responsive=True,
+)
+
+
+class ITHotStuffNode(ChainVotingNode):
+    """A well-behaved IT-HS participant."""
+
+    def __init__(
+        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
+    ) -> None:
+        super().__init__(node_id, config, IT_HS_SPEC, initial_value)

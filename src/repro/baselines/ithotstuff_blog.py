@@ -1,0 +1,33 @@
+"""IT-HS "blog version" (Abraham & Stern 2021) — Table 1 baseline.
+
+The non-responsive 4-phase variant: propose, echo, accept, lock.  Its
+shorter pipeline is bought with non-responsiveness — after a view
+change the new leader waits out a full Δ-bound timer to collect
+suggest information (piggybacked here on the view-change messages)
+instead of proceeding on quorum receipt.  When the actual network
+delay δ equals Δ that wait is invisible and the view-change latency is
+the table's 5 delays; when δ ≪ Δ the wait dominates, which is exactly
+what the responsiveness ablation (experiment A2) demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSpec, ChainVotingNode
+from repro.core.config import ProtocolConfig
+from repro.quorums.system import NodeId
+
+IT_HS_BLOG_SPEC = BaselineSpec(
+    name="it-hs-blog",
+    phases=("echo", "accept", "lock"),
+    pre_rounds=(),
+    responsive=False,
+)
+
+
+class ITHotStuffBlogNode(ChainVotingNode):
+    """A well-behaved participant of the non-responsive IT-HS variant."""
+
+    def __init__(
+        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
+    ) -> None:
+        super().__init__(node_id, config, IT_HS_BLOG_SPEC, initial_value)

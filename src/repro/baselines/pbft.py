@@ -1,0 +1,73 @@
+"""Unauthenticated PBFT (Castro 2001) — Table 1 baselines.
+
+Two rows of the table:
+
+* **PBFT (bounded)** — constant persistent storage, but the
+  view-change protocol makes each node send O(n)-sized messages to
+  everyone (prepared certificates for the in-flight window), for a
+  worst-case cubic total bit complexity.  Good case is the classic 3
+  delays (pre-prepare, prepare, commit); a view change prepends
+  request, view-change, view-change-ack and new-view rounds for the
+  table's 7.
+* **PBFT (unbounded)** — the simpler variant that keeps its whole
+  message log; modeled by the ``unbounded_log`` flag, whose storage
+  metric grows without bound over a run.
+
+The O(n) payload factors live in the round specs (``payload_entries_per_n``)
+so the scaling experiment (A1) measures the cubic growth directly.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    BaselineSpec,
+    ChainVotingNode,
+    PreRound,
+    RoundKind,
+)
+from repro.core.config import ProtocolConfig
+from repro.quorums.system import NodeId
+
+PBFT_BOUNDED_SPEC = BaselineSpec(
+    name="pbft",
+    phases=("prepare", "commit"),
+    pre_rounds=(
+        # view-change: broadcast, O(n) prepared certificates each.
+        PreRound("view-change", RoundKind.BROADCAST, payload_entries_per_n=4),
+        # view-change-ack: to the new leader.
+        PreRound("view-change-ack", RoundKind.TO_LEADER),
+        # new-view: from the leader, O(n) proof-of-view-change payload.
+        PreRound("new-view", RoundKind.FROM_LEADER, payload_entries_per_n=4),
+    ),
+    responsive=True,
+    # The timeout "request" message that starts a PBFT view change also
+    # carries certificate state in the unauthenticated variant.
+    vc_payload_entries_per_n=1,
+)
+
+PBFT_UNBOUNDED_SPEC = BaselineSpec(
+    name="pbft-unbounded",
+    phases=PBFT_BOUNDED_SPEC.phases,
+    pre_rounds=PBFT_BOUNDED_SPEC.pre_rounds,
+    responsive=True,
+    unbounded_log=True,
+    vc_payload_entries_per_n=1,
+)
+
+
+class PBFTNode(ChainVotingNode):
+    """A well-behaved bounded-storage unauthenticated PBFT participant."""
+
+    def __init__(
+        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
+    ) -> None:
+        super().__init__(node_id, config, PBFT_BOUNDED_SPEC, initial_value)
+
+
+class PBFTUnboundedNode(ChainVotingNode):
+    """The unbounded-log PBFT variant (Table 1's unbounded/unbounded row)."""
+
+    def __init__(
+        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
+    ) -> None:
+        super().__init__(node_id, config, PBFT_UNBOUNDED_SPEC, initial_value)

@@ -1,0 +1,49 @@
+"""Basic (single-shot) TetraBFT: messages, rules, storage, node."""
+
+from repro.core.config import TIMEOUT_DELAYS, ProtocolConfig
+from repro.core.messages import (
+    EMPTY_VOTE,
+    Proof,
+    Proposal,
+    Suggest,
+    TetraMessage,
+    ViewChange,
+    Vote,
+    VoteRecord,
+)
+from repro.core.node import TetraBFTNode
+from repro.core.rules import (
+    claims_safe,
+    find_safe_value,
+    proof_claims_safe,
+    proposal_is_safe,
+    suggest_claims_safe,
+)
+from repro.core.storage import VoteStorage
+from repro.core.values import ALL_PHASES, GENESIS_VIEW, NO_VIEW, Phase, Value, View
+
+__all__ = [
+    "ALL_PHASES",
+    "EMPTY_VOTE",
+    "GENESIS_VIEW",
+    "NO_VIEW",
+    "Phase",
+    "Proof",
+    "Proposal",
+    "ProtocolConfig",
+    "Suggest",
+    "TIMEOUT_DELAYS",
+    "TetraBFTNode",
+    "TetraMessage",
+    "Value",
+    "View",
+    "ViewChange",
+    "Vote",
+    "VoteRecord",
+    "VoteStorage",
+    "claims_safe",
+    "find_safe_value",
+    "proof_claims_safe",
+    "proposal_is_safe",
+    "suggest_claims_safe",
+]

@@ -1,0 +1,82 @@
+"""Protocol configuration shared by all TetraBFT node state machines."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.quorums.system import NodeId, QuorumSystem, ThresholdQuorumSystem
+
+LeaderFn = Callable[[int], NodeId]
+
+#: The paper's timeout budget: 2Δ view-entry skew + 6Δ of protocol
+#: phases, overshooting the cumulative 8Δ by one Δ of safety margin
+#: (paper §3.2).
+TIMEOUT_DELAYS = 9.0
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Static parameters of one TetraBFT deployment.
+
+    ``delta`` is the known post-GST delay bound Δ; the view timeout is
+    ``timeout_delays * delta`` (the paper's 9Δ by default).  ``leader_of``
+    maps a view number to its pre-assigned leader; the default is
+    round-robin over node ids, the scheme the paper suggests.
+    """
+
+    quorum_system: QuorumSystem
+    delta: float = 1.0
+    timeout_delays: float = TIMEOUT_DELAYS
+    leader_fn: LeaderFn | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        if self.timeout_delays <= 0:
+            raise ConfigurationError(
+                f"timeout_delays must be positive, got {self.timeout_delays}"
+            )
+
+    @classmethod
+    def create(
+        cls,
+        n: int,
+        f: int | None = None,
+        delta: float = 1.0,
+        timeout_delays: float = TIMEOUT_DELAYS,
+        leader_fn: LeaderFn | None = None,
+    ) -> "ProtocolConfig":
+        """Build a classic ``n > 3f`` configuration over nodes ``0..n-1``."""
+        return cls(
+            quorum_system=ThresholdQuorumSystem.for_nodes(n, f),
+            delta=delta,
+            timeout_delays=timeout_delays,
+            leader_fn=leader_fn,
+        )
+
+    @property
+    def node_ids(self) -> list[NodeId]:
+        return sorted(self.quorum_system.nodes)
+
+    @property
+    def n(self) -> int:
+        return len(self.quorum_system.nodes)
+
+    @property
+    def view_timeout(self) -> float:
+        """The per-view timer duration (9Δ by default)."""
+        return self.timeout_delays * self.delta
+
+    def leader_of(self, view: int) -> NodeId:
+        """The pre-assigned leader of ``view`` (round-robin by default)."""
+        if self.leader_fn is not None:
+            leader = self.leader_fn(view)
+            if leader not in self.quorum_system.nodes:
+                raise ConfigurationError(
+                    f"leader_fn returned unknown node {leader} for view {view}"
+                )
+            return leader
+        ids = self.node_ids
+        return ids[view % len(ids)]

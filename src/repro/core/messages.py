@@ -1,0 +1,98 @@
+"""Message types of Basic TetraBFT (paper Section 3.1).
+
+Six message kinds flow over authenticated channels:
+
+* ``⟨proposal, v, val⟩`` — sent only by the leader of view ``v``;
+* ``⟨vote-i, v, val⟩`` for i ∈ {1,2,3,4} — the four voting phases;
+* ``suggest`` — carries the sender's highest vote-2, its second-highest
+  vote-2 *for a different value*, and its highest vote-3; sent to the
+  new leader at view entry so it can find a safe value (Rule 1);
+* ``proof`` — same structure with vote-1 / vote-4; broadcast at view
+  entry so followers can validate the proposal (Rule 3);
+* ``⟨view-change, v⟩`` — the view-synchronization signal.
+
+Everything is a frozen dataclass: messages are immutable facts about
+what some node sent, and hashability lets receivers deduplicate.
+Because the model is *unauthenticated*, nothing in a message proves
+anything about third parties — suggest/proof contents are claims that
+the rules treat with the scepticism the paper's proofs require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.values import NO_VIEW, Phase, Value, View
+
+
+@dataclass(frozen=True)
+class VoteRecord:
+    """A ``(view, value)`` pair describing one historical vote.
+
+    Used inside suggest/proof messages.  ``EMPTY_VOTE`` (``view = -1``)
+    means "never cast" and compares lower than every real vote.
+    """
+
+    view: View
+    value: Value
+
+    @property
+    def is_empty(self) -> bool:
+        return self.view == NO_VIEW
+
+
+#: The "never voted" record (TLA+ ``NotAVote``).
+EMPTY_VOTE = VoteRecord(view=NO_VIEW, value=None)
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """``⟨proposal, v, val⟩`` — the leader's value for view ``v``."""
+
+    view: View
+    value: Value
+
+
+@dataclass(frozen=True)
+class Vote:
+    """``⟨vote-i, v, val⟩`` — a phase-``i`` vote in view ``v``."""
+
+    phase: Phase
+    view: View
+    value: Value
+
+
+@dataclass(frozen=True)
+class Suggest:
+    """Vote-2/vote-3 history, sent to the leader at view entry.
+
+    ``vote2`` — highest vote-2 the sender ever cast;
+    ``prev_vote2`` — highest vote-2 cast for a *different value* than
+    ``vote2``'s;
+    ``vote3`` — highest vote-3 ever cast.
+    """
+
+    view: View
+    vote2: VoteRecord = EMPTY_VOTE
+    prev_vote2: VoteRecord = EMPTY_VOTE
+    vote3: VoteRecord = EMPTY_VOTE
+
+
+@dataclass(frozen=True)
+class Proof:
+    """Vote-1/vote-4 history, broadcast at view entry (mirror of Suggest)."""
+
+    view: View
+    vote1: VoteRecord = EMPTY_VOTE
+    prev_vote1: VoteRecord = EMPTY_VOTE
+    vote4: VoteRecord = EMPTY_VOTE
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """``⟨view-change, v⟩`` — a wish to move to view ``v``."""
+
+    view: View
+
+
+TetraMessage = Proposal | Vote | Suggest | Proof | ViewChange

@@ -1,0 +1,394 @@
+"""The Basic TetraBFT node state machine (paper Section 3.2).
+
+One :class:`TetraBFTNode` is one well-behaved participant in a single
+consensus instance.  It is a pure event machine: the simulation (or any
+other transport) calls :meth:`start` and :meth:`receive`, the node
+talks back through its :class:`~repro.sim.runner.NodeContext`.
+
+The evolution of a view, exactly as in the paper:
+
+1. on entering view ``v`` a node arms a 9Δ timer; if ``v > 0`` it
+   broadcasts a ``proof`` message and sends a ``suggest`` message to
+   the leader of ``v``;
+2. the leader proposes the first value it can determine safe (Rule 1 /
+   Algorithm 4) — at view 0 everything is safe and it proposes its
+   initial value immediately;
+3. a node casts vote-1 for the proposal once Rule 3 / Algorithm 5
+   determines it safe;
+4.–6. a quorum of vote-k licenses vote-(k+1);
+7. a quorum of vote-4 for one value is a decision;
+timeout → broadcast ``⟨view-change, v+1⟩``; f+1 view-change messages
+for a view are echoed; n−f of them enter the view.
+
+Engineering notes (all documented deviations are liveness-neutral or
+liveness-fixing; safety rests solely on Rules 1–4 and vote counting):
+
+* **Bounded buffering.**  Messages for future views are buffered at
+  most one per (sender, kind): protocol messages carry monotonically
+  increasing views between well-behaved peers, so the newest is the
+  only one that can still matter.  This keeps working memory O(n) on
+  top of the O(1) persistent :class:`VoteStorage`.
+* **Cross-view vote-4 counting.**  The decision rule counts vote-4
+  messages per (view, value) across *all* views, keeping only each
+  sender's newest vote-4.  A quorum of vote-4 for the same (view,
+  value) is a decision no matter which view the receiver currently
+  occupies; this closes the classic decision-dissemination gap where a
+  laggard re-joins after others decided and the deciding view's
+  traffic is long gone.
+* **Retransmission.**  Pre-GST messages may be lost forever (Section
+  2), so a node whose timer fires re-broadcasts its current-view
+  material (view-change, and its vote-4 once decided) rather than
+  sending it only once.  Retransmission after GST is what turns
+  "sent once before GST and lost" into eventual delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import (
+    Proof,
+    Proposal,
+    Suggest,
+    TetraMessage,
+    ViewChange,
+    Vote,
+    VoteRecord,
+)
+from repro.core.rules import find_safe_value, proposal_is_safe
+from repro.core.storage import VoteStorage
+from repro.core.values import GENESIS_VIEW, Phase, Value, View
+from repro.errors import ProtocolViolation
+from repro.quorums.system import NodeId
+from repro.sim.events import EventHandle
+from repro.sim.runner import NodeContext, SimNode
+from repro.sim.trace import TraceKind
+
+
+@dataclass
+class _ViewState:
+    """Working memory for the node's *current* view (reset on entry)."""
+
+    proposal: Proposal | None = None
+    proofs: dict[NodeId, Proof] = field(default_factory=dict)
+    suggests: dict[NodeId, Suggest] = field(default_factory=dict)
+    vote_senders: dict[Phase, dict[Value, set[NodeId]]] = field(
+        default_factory=lambda: {phase: {} for phase in Phase}
+    )
+    sent_phase: dict[Phase, bool] = field(
+        default_factory=lambda: {phase: False for phase in Phase}
+    )
+    proposed: bool = False
+
+
+@dataclass
+class _FutureBuffer:
+    """At most one buffered message per (sender, kind) for future views."""
+
+    proposals: dict[NodeId, Proposal] = field(default_factory=dict)
+    proofs: dict[NodeId, Proof] = field(default_factory=dict)
+    suggests: dict[NodeId, Suggest] = field(default_factory=dict)
+    votes: dict[tuple[NodeId, Phase], Vote] = field(default_factory=dict)
+
+    def stash(self, sender: NodeId, message: TetraMessage) -> None:
+        if isinstance(message, Proposal):
+            current = self.proposals.get(sender)
+            if current is None or message.view > current.view:
+                self.proposals[sender] = message
+        elif isinstance(message, Proof):
+            current = self.proofs.get(sender)
+            if current is None or message.view > current.view:
+                self.proofs[sender] = message
+        elif isinstance(message, Suggest):
+            current = self.suggests.get(sender)
+            if current is None or message.view > current.view:
+                self.suggests[sender] = message
+        elif isinstance(message, Vote):
+            key = (sender, message.phase)
+            current = self.votes.get(key)
+            if current is None or message.view > current.view:
+                self.votes[key] = message
+
+    def drain_for_view(self, view: View) -> list[tuple[NodeId, TetraMessage]]:
+        """Pop every buffered message for exactly ``view`` (drop older)."""
+        ready: list[tuple[NodeId, TetraMessage]] = []
+        for store in (self.proposals, self.proofs, self.suggests):
+            stale = [s for s, m in store.items() if m.view <= view]
+            for sender in stale:
+                message = store.pop(sender)
+                if message.view == view:
+                    ready.append((sender, message))
+        stale_votes = [k for k, m in self.votes.items() if m.view <= view]
+        for key in stale_votes:
+            message = self.votes.pop(key)
+            if message.view == view:
+                ready.append((key[0], message))
+        return ready
+
+
+class TetraBFTNode(SimNode):
+    """A well-behaved Basic TetraBFT participant."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ProtocolConfig,
+        initial_value: Value,
+        vote4_ledger: bool = True,
+        retransmission: bool = True,
+    ) -> None:
+        """``vote4_ledger`` and ``retransmission`` toggle the two
+        liveness-hardening mechanisms documented above (cross-view
+        vote-4 counting and timer-driven re-broadcast).  They exist to
+        be switched **off** only by the hardening ablation
+        (:mod:`repro.eval.hardening_ablation`), which demonstrates the
+        executions that stall without them."""
+        self.node_id = node_id
+        self.config = config
+        self.initial_value = initial_value
+        self.vote4_ledger = vote4_ledger
+        self.retransmission = retransmission
+        self.storage = VoteStorage()
+        self.view: View = GENESIS_VIEW
+        self.decided_value: Value | None = None
+        self.decided = False
+        self._state = _ViewState()
+        self._buffer = _FutureBuffer()
+        self._ctx: NodeContext | None = None
+        self._timer: EventHandle | None = None
+        # View-change bookkeeping: exact per-view sender sets (pruned on
+        # view entry) plus the highest view-change view we broadcast.
+        self._vc_senders: dict[View, set[NodeId]] = {}
+        self._highest_vc_sent: View = GENESIS_VIEW  # we never send VC for view 0
+        # Cross-view vote-4 ledger: newest vote-4 per sender.
+        self._latest_vote4: dict[NodeId, VoteRecord] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def ctx(self) -> NodeContext:
+        if self._ctx is None:
+            raise ProtocolViolation("node used before start()")
+        return self._ctx
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+        self._enter_view(GENESIS_VIEW, initial=True)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.config.leader_of(self.view) == self.node_id
+
+    # -- view transitions ----------------------------------------------------------
+
+    def _enter_view(self, view: View, initial: bool = False) -> None:
+        if not initial and view <= self.view:
+            raise ProtocolViolation(f"cannot re-enter view {view} from {self.view}")
+        self.view = view
+        self._state = _ViewState()
+        self._vc_senders = {v: s for v, s in self._vc_senders.items() if v > view}
+        self._arm_timer()
+        self.ctx.report_view_entry(view)
+        if view > GENESIS_VIEW:
+            proof = self.storage.make_proof(view)
+            self.ctx.broadcast(proof)
+            suggest = self.storage.make_suggest(view)
+            self.ctx.send(self.config.leader_of(view), suggest)
+        if self.is_leader:
+            self._maybe_propose()
+        for sender, message in self._buffer.drain_for_view(view):
+            self._dispatch_current(sender, message)
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        view_at_arm = self.view
+        self._timer = self.ctx.set_timer(
+            self.config.view_timeout, lambda: self._on_timeout(view_at_arm)
+        )
+
+    def _on_timeout(self, view: View) -> None:
+        if view != self.view:
+            return  # stale timer that lost a cancellation race
+        self.ctx.trace(TraceKind.TIMER, view=view)
+        if self.decided and self.retransmission:
+            # Help laggards catch up directly (decision dissemination —
+            # see module docstring on retransmission).
+            record = self.storage.highest_vote(Phase.VOTE4)
+            if not record.is_empty:
+                self.ctx.broadcast(Vote(Phase.VOTE4, record.view, record.value))
+        # Deciding does not halt the node (the TLA+ spec has no halted
+        # state): an equivocating leader can leave a minority of honest
+        # nodes starved in the deciding view, and only a view change —
+        # which needs n-f participants — can rescue them.  Lemma 8
+        # guarantees any later view re-decides the same value.
+        self._send_view_change(self.view + 1, force_resend=self.retransmission)
+        self._arm_timer()
+
+    def _send_view_change(self, view: View, force_resend: bool = False) -> None:
+        if view < self._highest_vc_sent:
+            return
+        if view == self._highest_vc_sent and not force_resend:
+            return
+        self._highest_vc_sent = view
+        self.ctx.trace(TraceKind.VIEW_CHANGE_SENT, view=view)
+        self.ctx.broadcast(ViewChange(view))
+
+    # -- receive dispatch -----------------------------------------------------------
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        if not isinstance(message, (Proposal, Vote, Suggest, Proof, ViewChange)):
+            return  # unknown junk from a Byzantine peer: ignore
+        if isinstance(message, ViewChange):
+            self._on_view_change(sender, message)
+            return
+        if (
+            isinstance(message, Vote)
+            and message.phase is Phase.VOTE4
+            and self.vote4_ledger
+        ):
+            self._record_vote4(sender, message)
+        if message.view < self.view:
+            return  # stale: the view moved on
+        if message.view > self.view:
+            self._buffer.stash(sender, message)
+            return
+        self._dispatch_current(sender, message)
+
+    def _dispatch_current(self, sender: NodeId, message: TetraMessage) -> None:
+        if isinstance(message, Proposal):
+            self._on_proposal(sender, message)
+        elif isinstance(message, Vote):
+            self._on_vote(sender, message)
+        elif isinstance(message, Suggest):
+            self._on_suggest(sender, message)
+        elif isinstance(message, Proof):
+            self._on_proof(sender, message)
+
+    # -- proposal path -----------------------------------------------------------------
+
+    def _on_suggest(self, sender: NodeId, message: Suggest) -> None:
+        if not self.is_leader:
+            return  # suggests are addressed to leaders; ignore misroutes
+        self._state.suggests[sender] = message
+        self._maybe_propose()
+
+    def _maybe_propose(self) -> None:
+        if self._state.proposed or not self.is_leader:
+            return
+        value = find_safe_value(
+            self._state.suggests,
+            self.view,
+            self.config.quorum_system,
+            default_value=self.initial_value,
+        )
+        if value is None:
+            return
+        self._state.proposed = True
+        self.ctx.trace(TraceKind.PROPOSE, view=self.view, value=value)
+        self.ctx.broadcast(Proposal(self.view, value))
+
+    def _on_proposal(self, sender: NodeId, message: Proposal) -> None:
+        if sender != self.config.leader_of(message.view):
+            return  # only the view's leader may propose
+        if self._state.proposal is None:
+            # First proposal wins; an equivocating leader cannot make a
+            # well-behaved node consider two (within-view safety then
+            # rests on vote-quorum intersection).
+            self._state.proposal = message
+        self._maybe_vote1()
+
+    def _on_proof(self, sender: NodeId, message: Proof) -> None:
+        self._state.proofs[sender] = message
+        self._maybe_vote1()
+
+    def _maybe_vote1(self) -> None:
+        state = self._state
+        if state.sent_phase[Phase.VOTE1] or state.proposal is None:
+            return
+        value = state.proposal.value
+        if self.view > GENESIS_VIEW and not proposal_is_safe(
+            state.proofs, self.view, value, self.config.quorum_system
+        ):
+            return
+        self._cast_vote(Phase.VOTE1, value)
+
+    # -- voting pipeline ------------------------------------------------------------------
+
+    def _on_vote(self, sender: NodeId, message: Vote) -> None:
+        by_value = self._state.vote_senders[message.phase]
+        by_value.setdefault(message.value, set()).add(sender)
+        self._advance_pipeline(message.phase, message.value)
+
+    def _advance_pipeline(self, phase: Phase, value: Value) -> None:
+        senders = self._state.vote_senders[phase].get(value, set())
+        if not self.config.quorum_system.is_quorum(senders):
+            return
+        next_phase = phase.next_phase
+        if next_phase is None:
+            self._decide(value)
+            return
+        if not self._state.sent_phase[next_phase]:
+            self._cast_vote(next_phase, value)
+
+    def _cast_vote(self, phase: Phase, value: Value) -> None:
+        state = self._state
+        if state.sent_phase[phase]:
+            raise ProtocolViolation(
+                f"node {self.node_id} double-voting phase {phase} in view {self.view}"
+            )
+        state.sent_phase[phase] = True
+        self.storage.record_vote(phase, self.view, value)
+        self.ctx.report_storage(self.storage.size_bytes())
+        self.ctx.trace(TraceKind.VOTE, phase=int(phase), view=self.view, value=value)
+        self.ctx.broadcast(Vote(phase, self.view, value))
+
+    # -- decision ---------------------------------------------------------------------------
+
+    def _record_vote4(self, sender: NodeId, message: Vote) -> None:
+        """Cross-view vote-4 ledger + decision check (see module docstring)."""
+        current = self._latest_vote4.get(sender)
+        if current is not None and current.view >= message.view:
+            return
+        self._latest_vote4[sender] = VoteRecord(message.view, message.value)
+        supporters = {
+            node
+            for node, record in self._latest_vote4.items()
+            if record.view == message.view and record.value == message.value
+        }
+        if self.config.quorum_system.is_quorum(supporters):
+            self._decide(message.value)
+
+    def _decide(self, value: Value) -> None:
+        if self.decided:
+            if value != self.decided_value:
+                raise ProtocolViolation(
+                    f"node {self.node_id} saw conflicting decisions "
+                    f"{self.decided_value!r} and {value!r}"
+                )
+            return
+        self.decided = True
+        self.decided_value = value
+        self.ctx.report_decision(value)
+
+    # -- view change ---------------------------------------------------------------------------
+
+    def _on_view_change(self, sender: NodeId, message: ViewChange) -> None:
+        view = message.view
+        if view <= self.view:
+            return
+        senders = self._vc_senders.setdefault(view, set())
+        senders.add(sender)
+        if (
+            self.config.quorum_system.is_blocking(senders)
+            and view > self._highest_vc_sent
+        ):
+            # f+1 nodes want this view: at least one is well-behaved,
+            # so the wish is genuine — amplify it.  NB: broadcasting
+            # loops our own view-change back synchronously, which can
+            # recurse into this handler and enter the view before we
+            # return — hence the re-check against self.view below.
+            self._send_view_change(view)
+        if self.config.quorum_system.is_quorum(senders) and view > self.view:
+            self._enter_view(view)

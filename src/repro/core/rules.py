@@ -1,0 +1,265 @@
+"""Safe-value determination: Rules 1–4 and Algorithms 1, 4, 5.
+
+This module is the intellectual core of TetraBFT.  A *safe* value in
+view ``v`` is one that cannot contradict any decision made (or ever to
+be made) in an earlier view.  Leaders determine safety from a quorum of
+``suggest`` messages (Rule 1, judged per-sender by Rule 2); followers
+validate the leader's proposal from a quorum of ``proof`` messages
+(Rule 3, judged per-sender by Rule 4).  Because the model is
+unauthenticated, each suggest/proof is just a claim — the rules are
+engineered so that a *blocking set* (≥ f+1 nodes, hence at least one
+well-behaved) of concurring claims is what establishes safety.
+
+The functions here are pure: they take the received messages and the
+quorum system, and return a verdict.  They are generalized from the
+paper's ``n - f`` / ``f + 1`` counting to an abstract
+:class:`~repro.quorums.system.QuorumSystem`, which is what lets the
+same code run over FBA-style heterogeneous trust (paper §1.2).  With a
+:class:`~repro.quorums.system.ThresholdQuorumSystem` the checks are
+literally the paper's Algorithms 4 and 5.
+
+One pseudocode ambiguity resolved here: Algorithm 5's Rule 3 Item 2(b)iiiB
+branch (lines 31–35) writes ``proof.vote4.val = val`` with ``val``
+shadowed by the candidate-loop variable.  Rule 3 Item 2(b)ii in the
+prose unambiguously requires vote-4 messages at ``v'`` to carry *the
+proposed value*; we implement the prose.  (Lemma 4's liveness argument
+still goes through: when the iiiB branch is needed, no well-behaved
+node has voted in phase 4 above the leader's ``v'`` at all, so the
+quorum count is reachable from well-behaved proofs alone.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.messages import Proof, Suggest, VoteRecord
+from repro.core.values import GENESIS_VIEW, Value, View
+from repro.quorums.system import NodeId, QuorumSystem
+
+
+def claims_safe(
+    vote: VoteRecord, prev_vote: VoteRecord, v_prime: View, value: Value
+) -> bool:
+    """Algorithm 1 / Rules 2 and 4: does one history claim ``value`` safe at ``v_prime``?
+
+    ``vote``/``prev_vote`` are the highest and second-highest
+    (different-value) records of the relevant phase: vote-2 records for
+    a suggest (Rule 2), vote-1 records for a proof (Rule 4).  The three
+    disjuncts mirror the paper:
+
+    1. ``v_prime`` is 0 — all values are safe at view 0;
+    2. the highest vote was cast at a view ≥ ``v_prime`` *for this
+       value* — the claimer itself helped certify it;
+    3. the second-highest (different-value) vote was cast at a view ≥
+       ``v_prime`` — the claimer witnessed *two* certified values above
+       ``v_prime``, which means nothing can have been decided below,
+       so any value is safe ("any value" includes this one).
+    """
+    if v_prime == GENESIS_VIEW:
+        return True
+    if not vote.is_empty and vote.view >= v_prime and vote.value == value:
+        return True
+    if not prev_vote.is_empty and prev_vote.view >= v_prime:
+        return True
+    return False
+
+
+def suggest_claims_safe(suggest: Suggest, v_prime: View, value: Value) -> bool:
+    """Rule 2, applied to one suggest message."""
+    return claims_safe(suggest.vote2, suggest.prev_vote2, v_prime, value)
+
+
+def proof_claims_safe(proof: Proof, v_prime: View, value: Value) -> bool:
+    """Rule 4, applied to one proof message."""
+    return claims_safe(proof.vote1, proof.prev_vote1, v_prime, value)
+
+
+def _vote_compatible_with(record: VoteRecord, v_prime: View, value: Value) -> bool:
+    """Rule 1/3 Items 2(b)i+ii for one reported highest vote-3/vote-4.
+
+    True when the report is consistent with "no phase-3/4 vote above
+    ``v_prime``, and any such vote at ``v_prime`` was for ``value``".
+    An empty record trivially qualifies.
+    """
+    if record.is_empty:
+        return True
+    if record.view < v_prime:
+        return True
+    return record.view == v_prime and record.value == value
+
+
+def find_safe_value(
+    suggests: Mapping[NodeId, Suggest],
+    view: View,
+    quorum_system: QuorumSystem,
+    default_value: Value,
+) -> Value | None:
+    """Algorithm 4: the leader's search for a safe value to propose.
+
+    Returns a value that Rule 1 certifies as safe given the
+    ``suggests`` collected so far, or ``None`` when no verdict is
+    possible yet (the leader then waits for more suggest messages).
+    ``default_value`` is the leader's initial value, proposed whenever
+    arbitrary values are safe (paper §3.2).
+
+    Faithful to the paper with one generalization: candidate values are
+    drawn from *all* reported vote-2/vote-3 records plus the default,
+    a superset of the pseudocode's candidate set; the Rule 1 check
+    itself — not the candidate enumeration — decides safety, so this
+    cannot admit an unsafe value, and including the default implements
+    "propose the initial value when anything is safe".
+    """
+    if view == GENESIS_VIEW:
+        return default_value
+    if not quorum_system.is_quorum(suggests.keys()):
+        return None
+
+    # Rule 1 Item 2a: a quorum reports never having voted in phase 3.
+    no_vote3_senders = {
+        sender for sender, s in suggests.items() if s.vote3.is_empty
+    }
+    if quorum_system.is_quorum(no_vote3_senders):
+        return default_value
+
+    candidates: list[Value] = [default_value]
+    seen: set[Value] = {default_value}
+    for s in suggests.values():
+        for record in (s.vote3, s.vote2):
+            if not record.is_empty and record.value not in seen:
+                seen.add(record.value)
+                candidates.append(record.value)
+
+    # Rule 1 Item 2b: walk candidate anchor views from view-1 down.
+    for v_prime in range(view - 1, GENESIS_VIEW - 1, -1):
+        # Skip optimization (Algorithm 4 line 19): Item 2(b)iii needs a
+        # blocking set whose vote-2 history reaches v_prime at all.
+        # At v_prime == 0 every node claims every value safe (Rule 2
+        # Item 1), so the skip must not apply there.
+        if v_prime > GENESIS_VIEW:
+            reachers = {
+                sender
+                for sender, s in suggests.items()
+                if (not s.vote2.is_empty and s.vote2.view >= v_prime)
+                or (not s.prev_vote2.is_empty and s.prev_vote2.view >= v_prime)
+            }
+            if not quorum_system.is_blocking(reachers):
+                continue
+        for value in candidates:
+            quorum_ok = {
+                sender
+                for sender, s in suggests.items()
+                if _vote_compatible_with(s.vote3, v_prime, value)
+            }
+            if not quorum_system.is_quorum(quorum_ok):
+                continue
+            claimers = {
+                sender
+                for sender, s in suggests.items()
+                if suggest_claims_safe(s, v_prime, value)
+            }
+            if quorum_system.is_blocking(claimers):
+                return value
+    return None
+
+
+def proposal_is_safe(
+    proofs: Mapping[NodeId, Proof],
+    view: View,
+    value: Value,
+    quorum_system: QuorumSystem,
+) -> bool:
+    """Algorithm 5: a follower's validation of the leader's proposal.
+
+    Implements Rule 3.  Returns ``True`` when the collected ``proofs``
+    establish that ``value`` is safe to vote for in ``view``; callers
+    re-invoke as more proofs arrive.
+    """
+    if view == GENESIS_VIEW:
+        return True
+    if not quorum_system.is_quorum(proofs.keys()):
+        return False
+
+    # Rule 3 Item 2a: a quorum reports never having voted in phase 4.
+    no_vote4_senders = {sender for sender, p in proofs.items() if p.vote4.is_empty}
+    if quorum_system.is_quorum(no_vote4_senders):
+        return True
+
+    # Rule 3 Item 2(b)iiiA — mirror of the leader's rule.
+    for v_prime in range(view - 1, GENESIS_VIEW - 1, -1):
+        quorum_ok = {
+            sender
+            for sender, p in proofs.items()
+            if _vote_compatible_with(p.vote4, v_prime, value)
+        }
+        if not quorum_system.is_quorum(quorum_ok):
+            continue
+        claimers = {
+            sender
+            for sender, p in proofs.items()
+            if proof_claims_safe(p, v_prime, value)
+        }
+        if quorum_system.is_blocking(claimers):
+            return True
+
+    return _rule3_two_blocking_sets(proofs, view, value, quorum_system)
+
+
+def _rule3_two_blocking_sets(
+    proofs: Mapping[NodeId, Proof],
+    view: View,
+    value: Value,
+    quorum_system: QuorumSystem,
+) -> bool:
+    """Rule 3 Item 2(b)iiiB: the two-blocking-sets escape hatch.
+
+    Looks for two blocking sets claiming *different* values safe at
+    views ``ṽ < ṽ' < view``.  Two certified values above ``ṽ`` prove no
+    decision can have completed at or below it, so any proposal is safe
+    with anchor ``v' = ṽ`` (the paper notes checking Items 2(b)i/ii at
+    ``v' = ṽ`` suffices, since they are monotone in ``v'``).
+
+    Candidate claimed values come from the reported vote-1 records —
+    a blocking claim needs Rule 4 Item 2 or 3, and Item 3 claims are
+    value-agnostic, so vote-1 values cover all maximal claim sets.
+    """
+    candidate_values: list[Value] = []
+    seen: set[Value] = set()
+    for p in proofs.values():
+        for record in (p.vote1, p.prev_vote1):
+            if not record.is_empty and record.value not in seen:
+                seen.add(record.value)
+                candidate_values.append(record.value)
+
+    # claims[(v_tilde, claimed_value)] = set of senders claiming it safe.
+    claims: dict[tuple[View, Value], set[NodeId]] = {}
+    for v_tilde in range(view - 1, GENESIS_VIEW, -1):
+        for claimed in candidate_values:
+            claimers = {
+                sender
+                for sender, p in proofs.items()
+                if proof_claims_safe(p, v_tilde, claimed)
+            }
+            if quorum_system.is_blocking(claimers):
+                claims[(v_tilde, claimed)] = claimers
+
+    if not claims:
+        return False
+
+    for (v_lo, val_lo), claimers_lo in claims.items():
+        # Rule 3 Items 2(b)i/ii anchored at v' = v_lo, against the
+        # *proposed* value (see module docstring).
+        quorum_ok = {
+            sender
+            for sender, p in proofs.items()
+            if _vote_compatible_with(p.vote4, v_lo, value)
+        }
+        if not quorum_system.is_quorum(quorum_ok):
+            continue
+        if not quorum_system.is_blocking(claimers_lo & quorum_ok):
+            continue
+        for (v_hi, val_hi), claimers_hi in claims.items():
+            if v_hi <= v_lo or val_hi == val_lo:
+                continue
+            if quorum_system.is_blocking(claimers_hi & quorum_ok):
+                return True
+    return False

@@ -1,0 +1,107 @@
+"""Constant-size persistent vote storage (paper Section 3.1, last ¶).
+
+    "Throughout the views, a node needs only to store the highest
+    vote-1, vote-2, vote-3 and vote-4 messages it sent, along with the
+    second highest vote-1 and vote-2 messages that carry a different
+    value from their respective highest messages."
+
+That is exactly six :class:`VoteRecord` slots, independent of how many
+views have passed — the constant-storage property of Table 1.  This
+module maintains those slots and derives the suggest/proof messages
+from them.
+
+The update rule for the "second highest with a different value" slots
+is subtle and worth spelling out.  When a node casts a new highest
+vote ``(v, val)``:
+
+* if the old highest carried a *different* value, the old highest
+  becomes the new second-highest (it is, by view monotonicity, the
+  highest vote for a value other than ``val``);
+* if the old highest carried the *same* value, the second-highest is
+  unchanged (it still differs from ``val``).
+
+Well-behaved nodes vote with non-decreasing views within one consensus
+instance, which the class asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.messages import EMPTY_VOTE, Proof, Suggest, VoteRecord
+from repro.core.values import Phase, Value, View
+from repro.errors import ProtocolViolation
+
+
+@dataclass
+class VoteStorage:
+    """The six persistent vote records of one TetraBFT node."""
+
+    highest: dict[Phase, VoteRecord] = field(
+        default_factory=lambda: {phase: EMPTY_VOTE for phase in Phase}
+    )
+    prev: dict[Phase, VoteRecord] = field(
+        default_factory=lambda: {Phase.VOTE1: EMPTY_VOTE, Phase.VOTE2: EMPTY_VOTE}
+    )
+
+    def record_vote(self, phase: Phase, view: View, value: Value) -> None:
+        """Persist the fact "I cast a phase-``phase`` vote for ``value`` in ``view``"."""
+        current = self.highest[phase]
+        if not current.is_empty and view < current.view:
+            raise ProtocolViolation(
+                f"vote views must be non-decreasing: phase {phase} "
+                f"went from view {current.view} to {view}"
+            )
+        new_record = VoteRecord(view=view, value=value)
+        if phase in self.prev:
+            if not current.is_empty and current.value != value:
+                self.prev[phase] = current
+        self.highest[phase] = new_record
+
+    def highest_vote(self, phase: Phase) -> VoteRecord:
+        return self.highest[phase]
+
+    def prev_vote(self, phase: Phase) -> VoteRecord:
+        """Second-highest vote for a different value (phases 1 and 2 only)."""
+        if phase not in self.prev:
+            raise ProtocolViolation(f"no second-highest slot for phase {phase}")
+        return self.prev[phase]
+
+    # -- message derivation ----------------------------------------------------
+
+    def make_suggest(self, view: View) -> Suggest:
+        """The suggest message a node sends to the leader of ``view``."""
+        return Suggest(
+            view=view,
+            vote2=self.highest[Phase.VOTE2],
+            prev_vote2=self.prev[Phase.VOTE2],
+            vote3=self.highest[Phase.VOTE3],
+        )
+
+    def make_proof(self, view: View) -> Proof:
+        """The proof message a node broadcasts on entering ``view``."""
+        return Proof(
+            view=view,
+            vote1=self.highest[Phase.VOTE1],
+            prev_vote1=self.prev[Phase.VOTE1],
+            vote4=self.highest[Phase.VOTE4],
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Serialized size of the persistent state (constant by design).
+
+        Each record is a (view, value-digest) pair: 8 bytes of view plus
+        8 bytes of value reference — the figure the storage metrics
+        report.  The point is not the constant but that it does not
+        grow with views, nodes, or decided values.
+        """
+        record_count = len(self.highest) + len(self.prev)
+        return record_count * 16
+
+    def snapshot(self) -> dict[str, VoteRecord]:
+        """Readable copy of all six slots (used by tests and debugging)."""
+        result = {f"highest_vote{phase.value}": rec for phase, rec in self.highest.items()}
+        result.update({f"prev_vote{phase.value}": rec for phase, rec in self.prev.items()})
+        return result

@@ -1,0 +1,46 @@
+"""Core value and view types for Basic TetraBFT.
+
+Views are non-negative integers (the paper's ``v``); the sentinel
+``NO_VIEW = -1`` marks "never voted", mirroring the TLA+ spec's
+``NotAVote`` record with ``round = -1``.  Values are arbitrary hashable
+Python objects — consensus is value-agnostic; the SMR layer instantiates
+them with block digests.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Hashable
+
+View = int
+Value = Hashable
+
+#: Sentinel view for "no such vote was ever cast".
+NO_VIEW: View = -1
+
+#: View in which every value is safe by definition (Rule 1 / Rule 3).
+GENESIS_VIEW: View = 0
+
+
+class Phase(IntEnum):
+    """The four voting phases that give TetraBFT its name.
+
+    The leader's proposal precedes phase 1; a quorum of phase-``k``
+    votes licenses a phase-``k+1`` vote; a quorum of phase-4 votes is a
+    decision.
+    """
+
+    VOTE1 = 1
+    VOTE2 = 2
+    VOTE3 = 3
+    VOTE4 = 4
+
+    @property
+    def next_phase(self) -> "Phase | None":
+        """The phase unlocked by a quorum of this phase (None after 4)."""
+        if self is Phase.VOTE4:
+            return None
+        return Phase(self.value + 1)
+
+
+ALL_PHASES: tuple[Phase, ...] = (Phase.VOTE1, Phase.VOTE2, Phase.VOTE3, Phase.VOTE4)

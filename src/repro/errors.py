@@ -1,0 +1,50 @@
+"""Exception hierarchy for the TetraBFT reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of this package with a single clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or simulation configuration is invalid.
+
+    Examples: ``n <= 3 * f``, a non-positive ``delta``, an empty quorum
+    system, or a leader-rotation function that returns an unknown node.
+    """
+
+
+class QuorumSystemError(ReproError):
+    """A quorum system violates its structural requirements.
+
+    For instance, a federated quorum system whose slices admit two
+    disjoint quorums cannot guarantee safety and is rejected eagerly.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ProtocolViolation(ReproError):
+    """A *well-behaved* node attempted something the protocol forbids.
+
+    This is an internal assertion surface: it fires on bugs in our own
+    state machines (double vote-1 in a view, proposing twice, voting
+    for a value never determined safe), never on Byzantine input, which
+    is simply ignored or handled per the protocol.
+    """
+
+
+class VerificationError(ReproError):
+    """The model checker found a counterexample to a checked property."""
+
+    def __init__(self, message: str, trace: list | None = None) -> None:
+        super().__init__(message)
+        #: Action trace leading to the violating state, when available.
+        self.trace = trace or []

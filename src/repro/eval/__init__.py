@@ -1,0 +1,36 @@
+"""Evaluation harness: one module per paper table/figure plus ablations.
+
+Every module is runnable (``python -m repro.eval.table1`` etc.) and is
+also wrapped by a pytest-benchmark bench under ``benchmarks/``.  The
+experiment-id ↔ module mapping lives in DESIGN.md §3; measured-vs-paper
+results are recorded in EXPERIMENTS.md.
+"""
+
+from repro.eval.fig1_lemmas import LemmaChainResult, run_lemma_chain
+from repro.eval.fig2_pipeline import PipelineResult, run_pipeline
+from repro.eval.fig3_viewchange import ViewChangeResult, run_viewchange
+from repro.eval.responsiveness import ResponsivenessPoint, run_responsiveness
+from repro.eval.scaling import ScalingRow, run_scaling
+from repro.eval.table1 import PROTOCOLS, ProtocolEntry, run_table1
+from repro.eval.timeout_ablation import TimeoutPoint, run_timeout_ablation
+from repro.eval.verification_run import VerificationSummary, run_verification
+
+__all__ = [
+    "LemmaChainResult",
+    "PROTOCOLS",
+    "PipelineResult",
+    "ProtocolEntry",
+    "ResponsivenessPoint",
+    "ScalingRow",
+    "TimeoutPoint",
+    "VerificationSummary",
+    "ViewChangeResult",
+    "run_lemma_chain",
+    "run_pipeline",
+    "run_responsiveness",
+    "run_scaling",
+    "run_table1",
+    "run_timeout_ablation",
+    "run_verification",
+    "run_viewchange",
+]

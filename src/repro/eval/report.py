@@ -1,0 +1,48 @@
+"""Plain-text table / series formatting for experiment output.
+
+Every experiment module produces rows (lists of dicts); this module
+renders them the way the paper presents its tables so bench output can
+be compared to the paper side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    rows: Sequence[dict], columns: Sequence[str], title: str = ""
+) -> str:
+    """Monospace table with a header row, sized to the widest cell."""
+    headers = list(columns)
+    rendered = [
+        [_fmt(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(points: Sequence[tuple[object, object]], title: str = "") -> str:
+    """A two-column (x, y) series, for figure-shaped results."""
+    lines = [title] if title else []
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>12s}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value):
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,97 @@
+"""Experiment A1 — communication-complexity scaling.
+
+The paper's Table 1 claims O(n²) communicated bits per view for
+TetraBFT and IT-HS versus O(n³) worst-case for unauthenticated PBFT's
+view change (each node sends O(n)-sized view-change messages to
+everyone).  We sweep n, force one view change per run, and fit the
+growth exponents of total bytes (expected: ≈2 for TetraBFT/IT-HS,
+≈3 for PBFT) and per-node bytes (≈1 vs ≈2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import ITHotStuffNode, PBFTNode
+from repro.core import ProtocolConfig, TetraBFTNode
+from repro.eval.table1 import fit_growth_exponent
+from repro.sim import (
+    Simulation,
+    SynchronousDelays,
+    TargetedDropPolicy,
+    silence_nodes,
+)
+
+
+@dataclass
+class ScalingRow:
+    protocol: str
+    ns: list[int]
+    total_bytes: list[int]
+    max_node_bytes: list[int]
+
+    @property
+    def total_exponent(self) -> float:
+        return fit_growth_exponent(self.ns, [float(b) for b in self.total_bytes])
+
+    @property
+    def per_node_exponent(self) -> float:
+        return fit_growth_exponent(self.ns, [float(b) for b in self.max_node_bytes])
+
+
+_FACTORIES = {
+    "tetrabft": lambda i, cfg: TetraBFTNode(i, cfg, f"val-{i}"),
+    "it-hs": lambda i, cfg: ITHotStuffNode(i, cfg, f"val-{i}"),
+    "pbft": lambda i, cfg: PBFTNode(i, cfg, f"val-{i}"),
+}
+
+#: Paper-claimed exponents for total communicated bits across a
+#: view-changing view (and per-node = total − 1).
+PAPER_TOTAL_EXPONENTS = {"tetrabft": 2.0, "it-hs": 2.0, "pbft": 3.0}
+
+
+def measure_one(protocol: str, n: int) -> tuple[int, int]:
+    """(total bytes, max per-node bytes) for one forced view change."""
+    factory = _FACTORIES[protocol]
+    config = ProtocolConfig.create(n)
+    policy = TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([0]))
+    sim = Simulation(policy)
+    for i in range(n):
+        sim.add_node(factory(i, config))
+    sim.run_until_all_decided(node_ids=list(range(1, n)), until=400)
+    messages = sim.metrics.messages
+    return messages.total_bytes_sent, messages.max_bytes_per_node()
+
+
+def run_scaling(ns: tuple[int, ...] = (4, 7, 10, 16, 22, 31)) -> list[ScalingRow]:
+    rows = []
+    for protocol in _FACTORIES:
+        totals, per_node = [], []
+        for n in ns:
+            total, node_max = measure_one(protocol, n)
+            totals.append(total)
+            per_node.append(node_max)
+        rows.append(
+            ScalingRow(
+                protocol=protocol,
+                ns=list(ns),
+                total_bytes=totals,
+                max_node_bytes=per_node,
+            )
+        )
+    return rows
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print("A1 — communication scaling (bytes across one view-changing run)")
+    for row in run_scaling():
+        expected = PAPER_TOTAL_EXPONENTS[row.protocol]
+        print(
+            f"  {row.protocol:10s} total-exponent={row.total_exponent:.2f} "
+            f"(paper {expected:.0f})  per-node={row.per_node_exponent:.2f} "
+            f"bytes@n={row.ns[-1]}: {row.total_bytes[-1]}"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

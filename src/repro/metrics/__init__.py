@@ -1,0 +1,17 @@
+"""Instrumentation collectors for messages, latency, and storage."""
+
+from repro.metrics.collectors import (
+    LatencyMetrics,
+    MessageMetrics,
+    RunMetrics,
+    StorageMetrics,
+    estimate_wire_size,
+)
+
+__all__ = [
+    "LatencyMetrics",
+    "MessageMetrics",
+    "RunMetrics",
+    "StorageMetrics",
+    "estimate_wire_size",
+]

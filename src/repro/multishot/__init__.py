@@ -1,0 +1,37 @@
+"""Multi-shot (pipelined) TetraBFT: blocks, chain, node (paper Section 6)."""
+
+from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore, Digest
+from repro.multishot.chain import FINALITY_WINDOW, ChainState
+from repro.multishot.messages import (
+    MSProof,
+    MSProposal,
+    MSSuggest,
+    MSViewChange,
+    MSVote,
+    MultiShotMessage,
+)
+from repro.multishot.node import (
+    RETENTION_SLOTS,
+    MultiShotConfig,
+    MultiShotNode,
+    default_payload,
+)
+
+__all__ = [
+    "Block",
+    "BlockStore",
+    "ChainState",
+    "Digest",
+    "FINALITY_WINDOW",
+    "GENESIS_DIGEST",
+    "MSProof",
+    "MSProposal",
+    "MSSuggest",
+    "MSViewChange",
+    "MSVote",
+    "MultiShotConfig",
+    "MultiShotMessage",
+    "MultiShotNode",
+    "RETENTION_SLOTS",
+    "default_payload",
+]

@@ -1,0 +1,129 @@
+"""Notarization and finalization bookkeeping (paper Section 6.1).
+
+    "A block is notarized on receiving votes from a quorum of nodes.
+    The first block in a chain of four notarized blocks with
+    consecutive slot numbers is finalized, as well as its entire
+    prefix in the chain."
+
+:class:`ChainState` tracks which (slot, digest) pairs are notarized and
+derives the finalized chain.  Finalization is *chain-linked*: the four
+consecutive notarized blocks must actually extend one another (their
+views need not match — Fig. 3 finalizes slot 1 of view 1 through slot 4
+of view 0), which is what makes a vote for a block an implicit
+endorsement of its ancestors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolViolation
+from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore, Digest
+
+#: Blocks needed in a notarized run before the first one finalizes.
+FINALITY_WINDOW = 4
+
+
+class ChainState:
+    """Per-node notarization ledger and finalized-chain tracker."""
+
+    def __init__(self, store: BlockStore) -> None:
+        self.store = store
+        self._notarized: dict[int, set[Digest]] = {}
+        self.finalized: list[Block] = []
+
+    # -- notarization ------------------------------------------------------------
+
+    def notarize(self, slot: int, digest: Digest) -> list[Block]:
+        """Record a notarization; return any *newly* finalized blocks."""
+        self._notarized.setdefault(slot, set()).add(digest)
+        return self.check_finalization()
+
+    def is_notarized(self, slot: int, digest: Digest) -> bool:
+        if slot <= 0:
+            return digest == GENESIS_DIGEST or self._tail_digest_at(slot) == digest
+        if digest in self._notarized.get(slot, set()):
+            return True
+        # Finalized blocks are a fortiori notarized.
+        return self._tail_digest_at(slot) == digest
+
+    def _tail_digest_at(self, slot: int) -> Digest | None:
+        for block in self.finalized:
+            if block.slot == slot:
+                return block.digest
+        return None
+
+    def notarized_digests(self, slot: int) -> set[Digest]:
+        return set(self._notarized.get(slot, set()))
+
+    @property
+    def finalized_height(self) -> int:
+        return self.finalized[-1].slot if self.finalized else 0
+
+    # -- finalization ------------------------------------------------------------
+
+    def check_finalization(self) -> list[Block]:
+        """Scan for 4 consecutive chain-linked notarized slots.
+
+        Called after every notarization and after every late block-body
+        arrival (a notarized digest whose ancestors' bodies were missing
+        cannot finalize until the bodies show up).  Returns the blocks
+        appended to the finalized chain, oldest first.
+        """
+        newly: list[Block] = []
+        progress = True
+        while progress:
+            progress = False
+            for top_slot in sorted(self._notarized):
+                # Runs ending at or below the finalized tip still go
+                # through _try_finalize_run: they cannot extend the
+                # chain, but a *conflicting* one must hit the fork
+                # check rather than be silently skipped.
+                if top_slot - (FINALITY_WINDOW - 1) < self.finalized_height:
+                    continue
+                for top_digest in self._notarized[top_slot]:
+                    appended = self._try_finalize_run(top_slot, top_digest)
+                    if appended:
+                        newly.extend(appended)
+                        progress = True
+                        break
+                if progress:
+                    break
+        return newly
+
+    def _try_finalize_run(self, top_slot: int, top_digest: Digest) -> list[Block]:
+        """Finalize the block 3 generations under ``top`` if the run holds."""
+        current = top_digest
+        for depth in range(FINALITY_WINDOW - 1):
+            block = self.store.get(current)
+            if block is None:
+                return []  # body missing; retry when it arrives
+            parent_slot = top_slot - depth - 1
+            if parent_slot <= 0:
+                if block.parent != GENESIS_DIGEST:
+                    return []
+                # A run reaching genesis: fewer than 4 real blocks exist,
+                # so nothing below the window can finalize yet.
+                return []
+            if not self.is_notarized(parent_slot, block.parent):
+                return []
+            current = block.parent
+        return self._finalize_chain_to(current)
+
+    def _finalize_chain_to(self, digest: Digest) -> list[Block]:
+        chain = self.store.chain_to_genesis(digest)
+        if chain is None:
+            return []
+        # Consistency first: any finalizable chain must agree with what
+        # we already finalized, even one that does not extend it — a
+        # conflicting run at already-final slots is a protocol-level
+        # fork and must never be silently ignored.
+        for old, new in zip(self.finalized, chain):
+            if old.digest != new.digest:
+                raise ProtocolViolation(
+                    f"finalized-chain fork at slot {old.slot}: "
+                    f"{old.digest} vs {new.digest}"
+                )
+        if chain and chain[-1].slot <= self.finalized_height:
+            return []
+        newly = chain[len(self.finalized):]
+        self.finalized = chain
+        return newly

@@ -1,0 +1,19 @@
+"""Quorum-system substrate (classic threshold and FBA heterogeneous trust)."""
+
+from repro.quorums.fba import FBAQuorumSystem, SliceConfig, validate_fba_system
+from repro.quorums.system import (
+    NodeId,
+    QuorumSystem,
+    ThresholdQuorumSystem,
+    quorums_intersect,
+)
+
+__all__ = [
+    "FBAQuorumSystem",
+    "NodeId",
+    "QuorumSystem",
+    "SliceConfig",
+    "ThresholdQuorumSystem",
+    "quorums_intersect",
+    "validate_fba_system",
+]

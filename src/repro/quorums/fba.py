@@ -1,0 +1,190 @@
+"""Federated Byzantine Agreement (FBA) quorum systems.
+
+The paper (§1.2) observes that unauthenticated protocols such as
+TetraBFT transfer to heterogeneous-trust settings like Stellar's FBA
+model, where each participant unilaterally declares *quorum slices* —
+sets of participants it is willing to trust as a group — and a quorum
+is a set of nodes that contains one slice of each of its members.
+
+This module implements that model:
+
+* :class:`SliceConfig` — per-node slice declarations;
+* :class:`FBAQuorumSystem` — a :class:`QuorumSystem` whose
+  ``is_quorum`` follows the FBA closure definition and whose
+  ``is_blocking`` uses v-blocking sets (a set that intersects every
+  slice of the node);
+* :func:`validate_fba_system` — checks quorum intersection among the
+  discovered quorums (safety precondition).
+
+It is the substrate for the heterogeneous-trust extension example and
+tests; the TetraBFT node state machines run unchanged on top of it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.errors import QuorumSystemError
+from repro.quorums.system import NodeId, QuorumSystem
+
+
+@dataclass(frozen=True)
+class SliceConfig:
+    """Quorum slices declared by a single node.
+
+    ``slices`` is a set of node sets; every slice should contain the
+    declaring node itself (we add it if missing, as stellar-core does).
+    """
+
+    node: NodeId
+    slices: frozenset[frozenset[NodeId]]
+
+    @classmethod
+    def threshold(cls, node: NodeId, peers: Iterable[NodeId], k: int) -> "SliceConfig":
+        """Declare "any k of these peers (plus me)" slices.
+
+        This mirrors the common stellar-core configuration style.
+        """
+        peer_list = sorted(set(peers) - {node})
+        if not 0 < k <= len(peer_list):
+            raise QuorumSystemError(
+                f"threshold k={k} out of range for {len(peer_list)} peers"
+            )
+        slices = frozenset(
+            frozenset(combo) | {node} for combo in combinations(peer_list, k)
+        )
+        return cls(node=node, slices=slices)
+
+    def normalized(self) -> "SliceConfig":
+        """Return a copy whose slices all include the declaring node."""
+        return SliceConfig(
+            node=self.node,
+            slices=frozenset(s | {self.node} for s in self.slices),
+        )
+
+
+@dataclass(frozen=True)
+class FBAQuorumSystem(QuorumSystem):
+    """A quorum system induced by per-node slice declarations.
+
+    A non-empty set ``Q`` is a quorum iff every member of ``Q`` has at
+    least one slice fully contained in ``Q``.  A set ``B`` is blocking
+    (from the perspective of the whole system, as the homogeneous
+    TetraBFT node uses it) iff ``B`` intersects every quorum; we
+    compute that against the minimal quorums, which are enumerated once
+    at construction for the small systems this library simulates.
+    """
+
+    slice_configs: Mapping[NodeId, SliceConfig]
+    _minimal_quorums: tuple[frozenset[NodeId], ...] = field(
+        default=(), compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.slice_configs:
+            raise QuorumSystemError("FBA system needs at least one slice config")
+        normalized = {
+            node: cfg.normalized() for node, cfg in self.slice_configs.items()
+        }
+        object.__setattr__(self, "slice_configs", normalized)
+        object.__setattr__(
+            self, "_minimal_quorums", tuple(self._enumerate_minimal_quorums())
+        )
+        if not self._minimal_quorums:
+            raise QuorumSystemError("FBA system admits no quorum at all")
+
+    @classmethod
+    def from_slices(cls, configs: Iterable[SliceConfig]) -> "FBAQuorumSystem":
+        return cls(slice_configs={cfg.node: cfg for cfg in configs})
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        return frozenset(self.slice_configs)
+
+    # -- FBA quorum definition -------------------------------------------------
+
+    def _satisfied(self, node: NodeId, candidate: frozenset[NodeId]) -> bool:
+        """Does ``candidate`` contain one of ``node``'s slices?"""
+        cfg = self.slice_configs.get(node)
+        if cfg is None:
+            return False
+        return any(s <= candidate for s in cfg.slices)
+
+    def _quorum_closure(self, candidate: frozenset[NodeId]) -> frozenset[NodeId]:
+        """Greatest subset of ``candidate`` that is a quorum (may be empty).
+
+        Iteratively removes members whose every slice escapes the
+        candidate; the fixpoint is the largest quorum inside it.
+        """
+        current = candidate
+        while current:
+            survivors = frozenset(p for p in current if self._satisfied(p, current))
+            if survivors == current:
+                return current
+            current = survivors
+        return frozenset()
+
+    def is_quorum(self, members: Iterable[NodeId]) -> bool:
+        candidate = frozenset(members) & self.nodes
+        if not candidate:
+            return False
+        # A set *contains* a quorum iff its quorum closure is non-empty.
+        return bool(self._quorum_closure(candidate))
+
+    def is_blocking(self, members: Iterable[NodeId]) -> bool:
+        witness = frozenset(members)
+        return all(witness & q for q in self._minimal_quorums)
+
+    def quorum_size(self) -> int:
+        return min(len(q) for q in self._minimal_quorums)
+
+    def blocking_size(self) -> int:
+        # Smallest hitting set of the minimal quorums; exponential in
+        # general, fine at the simulated scales.  Greedy lower bound is
+        # not exact, so do exact search over subset sizes.
+        universe = sorted(self.nodes)
+        for size in range(1, len(universe) + 1):
+            for combo in combinations(universe, size):
+                if self.is_blocking(combo):
+                    return size
+        return len(universe)
+
+    def _enumerate_minimal_quorums(self) -> list[frozenset[NodeId]]:
+        universe = sorted(self.slice_configs)
+        quorums: list[frozenset[NodeId]] = []
+        for size in range(1, len(universe) + 1):
+            for combo in combinations(universe, size):
+                candidate = frozenset(combo)
+                if any(q <= candidate for q in quorums):
+                    continue  # not minimal
+                closure = self._quorum_closure(candidate)
+                if closure == candidate:
+                    quorums.append(candidate)
+        return quorums
+
+    @property
+    def minimal_quorums(self) -> tuple[frozenset[NodeId], ...]:
+        """The minimal quorums of the system (enumerated eagerly)."""
+        return self._minimal_quorums
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.slice_configs.items()))
+
+
+def validate_fba_system(system: FBAQuorumSystem) -> None:
+    """Raise :class:`QuorumSystemError` unless all quorums intersect.
+
+    Quorum intersection is the safety precondition of any FBA
+    deployment (and the analogue of ``n > 3f``).  Intersection must be
+    checked pairwise over minimal quorums; larger quorums are supersets
+    of minimal ones, so this is sufficient.
+    """
+    minimal = system.minimal_quorums
+    for q1, q2 in combinations(minimal, 2):
+        if not q1 & q2:
+            raise QuorumSystemError(
+                f"disjoint quorums {sorted(q1)} and {sorted(q2)}: "
+                "this FBA configuration cannot guarantee safety"
+            )

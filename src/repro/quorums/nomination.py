@@ -1,0 +1,126 @@
+"""Leader nomination for federated settings (paper §1.2, future work).
+
+    "The main difficulty in open heterogeneous settings like FBA is
+    assigning a unique leader to each view ... SCP uses a synchronous
+    sub-protocol, called the nomination protocol, whose principles
+    could be applied to TetraBFT to obtain [/simulate] a unique
+    leader."
+
+This module implements the deterministic core of that idea, in the
+quasi-permissionless setting this library targets (participant set
+known; trust heterogeneous):
+
+* :func:`priority` — a per-(view, node) pseudo-random priority from a
+  seeded content hash, the mechanism SCP uses to weight nomination;
+* :class:`PriorityLeaderElection` — leader of view ``v`` is the
+  maximum-priority member of a candidate set, giving a different,
+  unpredictable-but-agreed rotation than round-robin (so a targeted
+  adversary cannot precompute a long run of its own views without
+  controlling the seed);
+* :func:`leader_fn_for` — adapter producing the ``leader_fn`` hook of
+  :class:`~repro.core.config.ProtocolConfig`, so the election drops
+  into TetraBFT unchanged.
+
+The fully open-membership nomination protocol (candidate value
+federated voting) is beyond the paper's own scope — it sketches the
+direction; this is the deterministic piece that direction needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import LeaderFn
+from repro.errors import ConfigurationError
+from repro.quorums.system import NodeId
+
+
+def priority(view: int, node: NodeId, seed: bytes = b"tetrabft") -> int:
+    """Deterministic pseudo-random priority of ``node`` in ``view``.
+
+    A content hash, not a security primitive: every participant that
+    agrees on (seed, view, node) computes the same value, which is all
+    unauthenticated leader election needs.
+    """
+    material = seed + f"|{view}|{node}".encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class PriorityLeaderElection:
+    """Hash-priority leader election over a fixed candidate set."""
+
+    candidates: tuple[NodeId, ...]
+    seed: bytes = b"tetrabft"
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ConfigurationError("need at least one leader candidate")
+        if len(set(self.candidates)) != len(self.candidates):
+            raise ConfigurationError("duplicate leader candidates")
+
+    def leader_of(self, view: int) -> NodeId:
+        """The unique maximum-priority candidate for ``view``.
+
+        Ties are impossible in practice (64-bit priorities) but broken
+        by node id for determinism anyway.
+        """
+        return max(self.candidates, key=lambda node: (priority(view, node, self.seed), node))
+
+    def schedule(self, views: int) -> list[NodeId]:
+        """The first ``views`` leaders (useful for fairness analysis)."""
+        return [self.leader_of(v) for v in range(views)]
+
+    def fairness(self, views: int) -> dict[NodeId, float]:
+        """Fraction of the first ``views`` views each candidate leads."""
+        schedule = self.schedule(views)
+        return {
+            node: schedule.count(node) / views for node in self.candidates
+        }
+
+
+def leader_fn_for(
+    candidates: Iterable[NodeId], seed: bytes = b"tetrabft"
+) -> LeaderFn:
+    """A ``ProtocolConfig.leader_fn`` from hash-priority election."""
+    election = PriorityLeaderElection(tuple(sorted(set(candidates))), seed=seed)
+    return election.leader_of
+
+
+@dataclass
+class NominationRound:
+    """One round of SCP-style nomination bookkeeping (simplified).
+
+    Participants *nominate* the highest-priority candidates they know;
+    a candidate is *confirmed* once a blocking set nominated it.  With
+    a known candidate set and the deterministic :func:`priority`, all
+    well-behaved participants converge on the same confirmed leader —
+    the property TetraBFT needs from the sub-protocol.
+    """
+
+    view: int
+    blocking_size: int
+    seed: bytes = b"tetrabft"
+    nominations: dict[NodeId, NodeId] = field(default_factory=dict)
+
+    def nominate(self, participant: NodeId, candidates: Sequence[NodeId]) -> NodeId:
+        """Record ``participant``'s nomination (its top-priority candidate)."""
+        if not candidates:
+            raise ConfigurationError("cannot nominate from an empty candidate set")
+        choice = max(
+            candidates, key=lambda node: (priority(self.view, node, self.seed), node)
+        )
+        self.nominations[participant] = choice
+        return choice
+
+    def confirmed_leader(self) -> NodeId | None:
+        """The candidate nominated by a blocking set, if any."""
+        counts: dict[NodeId, int] = {}
+        for choice in self.nominations.values():
+            counts[choice] = counts.get(choice, 0) + 1
+        for candidate, count in sorted(counts.items()):
+            if count >= self.blocking_size:
+                return candidate
+        return None

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate (scheduler, network, adversaries)."""
+
+from repro.sim.adversary import (
+    PartitionPolicy,
+    ScriptedPolicy,
+    SkewedDelays,
+    TargetedDropPolicy,
+    censor_types,
+    silence_nodes,
+)
+from repro.sim.events import EventHandle, EventScheduler
+from repro.sim.network import (
+    DelayPolicy,
+    Network,
+    PartialSynchronyPolicy,
+    SynchronousDelays,
+    UniformRandomDelays,
+)
+from repro.sim.runner import NodeContext, SimNode, Simulation
+from repro.sim.trace import Trace, TraceEvent, TraceKind
+
+__all__ = [
+    "DelayPolicy",
+    "EventHandle",
+    "EventScheduler",
+    "Network",
+    "NodeContext",
+    "PartialSynchronyPolicy",
+    "PartitionPolicy",
+    "ScriptedPolicy",
+    "SimNode",
+    "Simulation",
+    "SkewedDelays",
+    "SynchronousDelays",
+    "TargetedDropPolicy",
+    "Trace",
+    "TraceEvent",
+    "TraceKind",
+    "UniformRandomDelays",
+    "censor_types",
+    "silence_nodes",
+]

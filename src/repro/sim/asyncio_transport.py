@@ -1,0 +1,214 @@
+"""Wall-clock asyncio transport for the same node state machines.
+
+The protocol nodes in this library are transport-agnostic: they
+implement ``start(ctx)`` / ``receive(sender, message)`` and act only
+through their context.  The discrete-event harness drives them in
+virtual time; this module drives the *identical objects* over asyncio
+queues and real wall-clock timers — the shape a socket-based deployment
+would take, minus serialization.
+
+This is the "implement Multi-shot TetraBFT and evaluate it" direction
+the paper's conclusion points at, scaled to what a library can ship:
+an in-process cluster with per-link latency injection, useful for
+latency-realistic demos and for convincing yourself no node accidentally
+depends on simulated time.
+
+Usage::
+
+    cluster = AsyncioCluster(link_delay=0.005)
+    for i in range(4):
+        cluster.add_node(TetraBFTNode(i, config, initial_value=f"v{i}"))
+    asyncio.run(cluster.run(until_idle=0.2))
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.metrics.collectors import RunMetrics
+from repro.sim.runner import SimNode
+from repro.sim.trace import Trace, TraceKind
+
+
+class _AsyncTimerHandle:
+    """Duck-typed EventHandle over an asyncio task."""
+
+    def __init__(self, task: asyncio.Task) -> None:
+        self._task = task
+
+    def cancel(self) -> None:
+        self._task.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._task.cancelled()
+
+
+@dataclass
+class _Outbound:
+    src: int
+    dst: int
+    message: object
+
+
+class AsyncNodeContext:
+    """Duck-typed :class:`~repro.sim.runner.NodeContext` over asyncio."""
+
+    def __init__(self, node_id: int, cluster: "AsyncioCluster") -> None:
+        self.node_id = node_id
+        self._cluster = cluster
+
+    @property
+    def now(self) -> float:
+        return self._cluster.now
+
+    def send(self, dst: int, message: object) -> None:
+        self._cluster._enqueue(_Outbound(self.node_id, dst, message))
+
+    def broadcast(self, message: object) -> None:
+        for dst in self._cluster.node_ids:
+            self.send(dst, message)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> _AsyncTimerHandle:
+        async def fire() -> None:
+            await asyncio.sleep(delay * self._cluster.time_scale)
+            self._cluster._deliver_timer(callback)
+
+        task = self._cluster._spawn(fire())
+        return _AsyncTimerHandle(task)
+
+    # -- milestone reporting (same surface as the simulated context) ----------
+
+    def report_decision(self, value: object) -> None:
+        self._cluster.metrics.latency.record_decision(self.node_id, value, self.now)
+        self.trace(TraceKind.DECIDE, value=value)
+
+    def report_view_entry(self, view: int) -> None:
+        self._cluster.metrics.latency.record_view_entry(self.node_id, view, self.now)
+
+    def report_storage(self, size_bytes: int) -> None:
+        self._cluster.metrics.storage.record(self.node_id, size_bytes)
+
+    def trace(self, kind: TraceKind, **detail: object) -> None:
+        self._cluster.trace.record(self.now, self.node_id, kind, **detail)
+
+
+@dataclass
+class AsyncioCluster:
+    """An in-process cluster of SimNodes over asyncio.
+
+    ``link_delay`` is the wall-clock per-message latency in seconds;
+    ``time_scale`` converts the protocol's Δ-denominated timers into
+    wall-clock seconds (set it to ``link_delay`` so one protocol delay
+    unit ≈ one link delay, matching the simulated geometry).
+    """
+
+    link_delay: float = 0.005
+    time_scale: float | None = None
+    metrics: RunMetrics = field(default_factory=RunMetrics)
+    trace: Trace = field(default_factory=lambda: Trace(enabled=True))
+
+    def __post_init__(self) -> None:
+        if self.time_scale is None:
+            self.time_scale = self.link_delay
+        self._nodes: dict[int, SimNode] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._queue: asyncio.Queue[_Outbound] | None = None
+        self._loop_time0 = 0.0
+        self._running = False
+
+    # -- wiring -----------------------------------------------------------------
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    @property
+    def now(self) -> float:
+        if not self._running:
+            return 0.0
+        elapsed = asyncio.get_event_loop().time() - self._loop_time0
+        return elapsed / self.time_scale  # in protocol delay units
+
+    def add_node(self, node: SimNode) -> None:
+        if self._running:
+            raise SimulationError("cannot add nodes after the cluster started")
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    def _enqueue(self, outbound: _Outbound) -> None:
+        assert self._queue is not None
+        self.metrics.messages.record_send(outbound.src, outbound.message)
+        self._queue.put_nowait(outbound)
+
+    def _deliver_timer(self, callback: Callable[[], None]) -> None:
+        callback()
+
+    # -- run loop ------------------------------------------------------------------
+
+    async def _router(self) -> None:
+        assert self._queue is not None
+        while True:
+            outbound = await self._queue.get()
+
+            async def deliver(o: _Outbound = outbound) -> None:
+                await asyncio.sleep(self.link_delay)
+                self.metrics.messages.record_delivery(o.src)
+                node = self._nodes.get(o.dst)
+                if node is not None:
+                    node.receive(o.src, o.message)
+
+            self._spawn(deliver())
+
+    async def run(
+        self,
+        duration: float | None = None,
+        stop_when: Callable[[], bool] | None = None,
+        poll_interval: float = 0.002,
+    ) -> float:
+        """Start every node and run for ``duration`` seconds (or until
+        ``stop_when``).  Returns elapsed protocol-delay units."""
+        if self._running:
+            raise SimulationError("cluster already running")
+        self._running = True
+        self._queue = asyncio.Queue()
+        loop = asyncio.get_event_loop()
+        self._loop_time0 = loop.time()
+        router = self._spawn(self._router())
+        for node_id in self.node_ids:
+            self._nodes[node_id].start(AsyncNodeContext(node_id, self))
+        try:
+            deadline = None if duration is None else loop.time() + duration
+            while True:
+                if stop_when is not None and stop_when():
+                    break
+                if deadline is not None and loop.time() >= deadline:
+                    break
+                if deadline is None and stop_when is None:
+                    break
+                await asyncio.sleep(poll_interval)
+        finally:
+            router.cancel()
+            for task in list(self._tasks):
+                task.cancel()
+            self._running = False
+        return (loop.time() - self._loop_time0) / self.time_scale
+
+    async def run_until_all_decided(
+        self, node_ids: list[int] | None = None, timeout: float = 5.0
+    ) -> float:
+        targets = node_ids if node_ids is not None else self.node_ids
+        return await self.run(
+            duration=timeout,
+            stop_when=lambda: self.metrics.latency.all_decided(targets),
+        )

@@ -1,0 +1,154 @@
+"""Deterministic discrete-event scheduler.
+
+The simulator that drives every protocol run in this library.  It is a
+classic event-heap design with two properties the reproduction relies
+on:
+
+* **Determinism** — events at equal timestamps fire in insertion order
+  (a monotone sequence number breaks ties), so a run is a pure function
+  of its inputs and seed.  Every test and benchmark is replayable.
+* **Cancellation** — timer events can be cancelled in O(1) (lazy
+  deletion), which the protocol uses when a view ends before its
+  timeout fires.
+
+Time is a float in abstract "delay units"; protocol code treats the
+network's δ as the unit, which is exactly how the paper counts latency
+("message delays").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventScheduler.schedule`.
+
+    Supports :meth:`cancel`; cancelling an already-fired or
+    already-cancelled event is a harmless no-op.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventScheduler:
+    """Priority-queue event loop with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of callbacks executed so far (for budget checks)."""
+        return self._events_fired
+
+    def schedule(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(time - self._now, callback, label=label)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns ``False`` when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap yielded a past event")
+            self._now = event.time
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Run events until drained / deadline / predicate / budget.
+
+        ``until`` is an absolute time: events scheduled strictly after
+        it remain queued and ``now`` is advanced to ``until``.
+        ``stop_when`` is evaluated after every event.  Returns the
+        simulation time at which the run stopped.
+        """
+        fired = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"exceeded event budget of {max_events} events; "
+                    "likely a livelock in the protocol under test"
+                )
+            self.step()
+            fired += 1
+            if stop_when is not None and stop_when():
+                return self._now
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now

@@ -1,0 +1,204 @@
+"""Partially synchronous network model.
+
+Section 2 of the paper: the network is asynchronous until an unknown
+Global Stabilization Time (GST); messages sent before GST may be lost;
+every message sent after GST is delivered within a known bound Δ.
+Channels are authenticated — a receiver always knows the true sender —
+but message *content* is unauthenticated, which is the whole setting of
+the paper.
+
+:class:`Network` routes messages between registered nodes through an
+:class:`EventScheduler`.  Per-message delays and drops are decided by a
+:class:`DelayPolicy`; the library ships the policies the experiments
+need and :mod:`repro.sim.adversary` adds adversarial ones.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics.collectors import MessageMetrics
+from repro.sim.events import EventScheduler
+from repro.sim.trace import Trace, TraceKind
+
+DeliverFn = Callable[[int, object], None]
+
+
+class DelayPolicy(ABC):
+    """Decides the fate of each message: a delay, or ``None`` to drop."""
+
+    @abstractmethod
+    def delay(self, send_time: float, src: int, dst: int, message: object) -> float | None:
+        """Return the network delay for this message, or ``None`` to drop it."""
+
+
+@dataclass
+class SynchronousDelays(DelayPolicy):
+    """Every message takes exactly ``delta`` — the good-case network.
+
+    With ``delta=1.0`` the simulation clock *is* the paper's
+    message-delay count, which is how the Table 1 latencies are
+    measured.
+    """
+
+    delta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+
+    def delay(self, send_time: float, src: int, dst: int, message: object) -> float | None:
+        del send_time, src, dst, message
+        return self.delta
+
+
+@dataclass
+class UniformRandomDelays(DelayPolicy):
+    """Delays drawn uniformly from ``[low, high]`` with a seeded RNG."""
+
+    low: float
+    high: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ConfigurationError(
+                f"need 0 < low <= high, got low={self.low} high={self.high}"
+            )
+        self._rng = random.Random(self.seed)
+
+    def delay(self, send_time: float, src: int, dst: int, message: object) -> float | None:
+        del send_time, src, dst, message
+        return self._rng.uniform(self.low, self.high)
+
+
+@dataclass
+class PartialSynchronyPolicy(DelayPolicy):
+    """The paper's GST/Δ model.
+
+    Before ``gst``: each message is dropped with probability
+    ``loss_before_gst``, otherwise delayed by a random amount up to
+    ``max_delay_before_gst`` (but never delivered before GST+jitter if
+    ``defer_to_gst`` is set, modelling full asynchrony).
+
+    At or after ``gst``: delivered within ``[delta_min, delta]``.
+    ``delta`` is the known bound Δ; ``delta_min`` lets experiments
+    model the *actual* delay δ ≤ Δ that responsive protocols enjoy.
+    """
+
+    gst: float
+    delta: float = 1.0
+    delta_min: float | None = None
+    loss_before_gst: float = 0.5
+    max_delay_before_gst: float = 20.0
+    defer_to_gst: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        if self.delta_min is None:
+            self.delta_min = self.delta
+        if not 0 < self.delta_min <= self.delta:
+            raise ConfigurationError(
+                f"need 0 < delta_min <= delta, got {self.delta_min} > {self.delta}"
+            )
+        if not 0.0 <= self.loss_before_gst <= 1.0:
+            raise ConfigurationError("loss_before_gst must be a probability")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, send_time: float, src: int, dst: int, message: object) -> float | None:
+        del src, dst, message
+        if send_time >= self.gst:
+            if self.delta_min == self.delta:
+                return self.delta
+            return self._rng.uniform(self.delta_min, self.delta)
+        if self._rng.random() < self.loss_before_gst:
+            return None
+        raw = self._rng.uniform(0.0, self.max_delay_before_gst)
+        if self.defer_to_gst:
+            # Deliver no earlier than GST: the network is genuinely
+            # asynchronous before stabilization.
+            earliest = self.gst - send_time
+            return max(raw, earliest + self._rng.uniform(0.0, self.delta))
+        return raw
+
+
+class Network:
+    """Message router over the event scheduler.
+
+    Nodes are registered with a delivery callback; :meth:`send` and
+    :meth:`broadcast` route through the delay policy and record
+    metrics and trace events.  Self-delivery goes through the policy
+    like any other link: a node processes its own broadcast when its
+    peers do, which keeps measured latencies aligned with the paper's
+    sequential message-delay accounting (and costs nothing where a
+    quorum is needed anyway, since the quorum's messages take just as
+    long).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        policy: DelayPolicy,
+        metrics: MessageMetrics | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.policy = policy
+        self.metrics = metrics if metrics is not None else MessageMetrics()
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self._inboxes: dict[int, DeliverFn] = {}
+
+    def register(self, node_id: int, deliver: DeliverFn) -> None:
+        if node_id in self._inboxes:
+            raise SimulationError(f"node {node_id} registered twice")
+        self._inboxes[node_id] = deliver
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._inboxes)
+
+    def send(self, src: int, dst: int, message: object) -> None:
+        """Send ``message`` from ``src`` to ``dst`` through the policy."""
+        if dst not in self._inboxes:
+            raise SimulationError(f"unknown destination node {dst}")
+        self.metrics.record_send(src, message)
+        self.trace.record(
+            self.scheduler.now, src, TraceKind.SEND,
+            dst=dst, msg=type(message).__name__,
+        )
+        delay = self.policy.delay(self.scheduler.now, src, dst, message)
+        if delay is None:
+            self.metrics.record_drop(src)
+            self.trace.record(
+                self.scheduler.now, src, TraceKind.DROP,
+                dst=dst, msg=type(message).__name__,
+            )
+            return
+        self.scheduler.schedule(
+            delay,
+            lambda: self._deliver(src, dst, message),
+            label=f"deliver {type(message).__name__} {src}->{dst}",
+        )
+
+    def broadcast(self, src: int, message: object) -> None:
+        """Send ``message`` to every registered node, including ``src``.
+
+        The paper's broadcasts include the sender (a node processes its
+        own votes), so loop-back delivery is part of the semantics.
+        """
+        for dst in self.node_ids:
+            self.send(src, dst, message)
+
+    def _deliver(self, src: int, dst: int, message: object) -> None:
+        self.metrics.record_delivery(src)
+        self.trace.record(
+            self.scheduler.now, dst, TraceKind.DELIVER,
+            src=src, msg=type(message).__name__,
+        )
+        self._inboxes[dst](src, message)

@@ -1,0 +1,105 @@
+"""Structured execution traces.
+
+Every simulation can optionally record a trace of salient protocol
+events (sends, deliveries, votes, decisions, view changes).  Traces are
+what the Figure 1 lemma-chain experiment and several integration tests
+assert over, and they make failed property-based tests diagnosable:
+hypothesis shrinks to a seed, the seed replays to an identical trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TraceKind(str, Enum):
+    """Category tags for trace events."""
+
+    SEND = "send"
+    DELIVER = "deliver"
+    DROP = "drop"
+    PROPOSE = "propose"
+    VOTE = "vote"
+    DECIDE = "decide"
+    VIEW_CHANGE_SENT = "view_change_sent"
+    VIEW_ENTER = "view_enter"
+    TIMER = "timer"
+    NOTARIZE = "notarize"
+    FINALIZE = "finalize"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``detail`` is free-form but conventionally a dict of scalars so
+    traces print readably and diff cleanly.
+    """
+
+    time: float
+    node: int
+    kind: TraceKind
+    detail: tuple[tuple[str, object], ...]
+
+    def get(self, key: str, default: object = None) -> object:
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        details = ", ".join(f"{k}={v}" for k, v in self.detail)
+        return f"[t={self.time:8.2f}] node {self.node}: {self.kind.value} {details}"
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: float, node: int, kind: TraceKind, **detail: object) -> None:
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(time=time, node=node, kind=kind, detail=tuple(detail.items()))
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: TraceKind | None = None,
+        node: int | None = None,
+        where: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Filtered view of the trace."""
+        result = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if where is not None and not where(event):
+                continue
+            result.append(event)
+        return result
+
+    def first(
+        self, kind: TraceKind, where: Callable[[TraceEvent], bool] | None = None
+    ) -> TraceEvent | None:
+        for event in self._events:
+            if event.kind is kind and (where is None or where(event)):
+                return event
+        return None
+
+    def dump(self) -> str:  # pragma: no cover - debugging aid
+        return "\n".join(str(e) for e in self._events)

@@ -1,0 +1,7 @@
+"""State-machine replication layer over Multi-shot TetraBFT."""
+
+from repro.smr.kvstore import KVCommandError, KVStore
+from repro.smr.mempool import Mempool, Transaction
+from repro.smr.replica import Replica
+
+__all__ = ["KVCommandError", "KVStore", "Mempool", "Replica", "Transaction"]

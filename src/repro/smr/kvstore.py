@@ -1,0 +1,79 @@
+"""A deterministic replicated key-value state machine.
+
+The canonical SMR application: every replica applies the same finalized
+transaction sequence to an initially empty map and must end in the same
+state — which the integration tests check byte for byte via
+:meth:`state_digest`.
+
+Supported operations (kept deliberately tiny; determinism is the point,
+not expressiveness):
+
+* ``("set", key, value)``
+* ``("del", key)``
+* ``("incr", key, amount)`` — arithmetic on integer cells
+* ``("noop",)``
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class KVCommandError(ReproError):
+    """A transaction carried a malformed command."""
+
+
+class KVStore:
+    """The deterministic state machine each replica executes."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self._applied: list[str] = []
+
+    def apply(self, txid: str, op: object) -> None:
+        """Apply one finalized command.  Malformed commands raise
+        (replicas validate payloads before proposing; a malformed one
+        reaching execution is a bug, not Byzantine input)."""
+        if not isinstance(op, tuple) or not op:
+            raise KVCommandError(f"command must be a non-empty tuple, got {op!r}")
+        kind = op[0]
+        if kind == "set":
+            if len(op) != 3:
+                raise KVCommandError(f"set needs (set, key, value), got {op!r}")
+            self._data[op[1]] = op[2]
+        elif kind == "del":
+            if len(op) != 2:
+                raise KVCommandError(f"del needs (del, key), got {op!r}")
+            self._data.pop(op[1], None)
+        elif kind == "incr":
+            if len(op) != 3 or not isinstance(op[2], int):
+                raise KVCommandError(f"incr needs (incr, key, int), got {op!r}")
+            current = self._data.get(op[1], 0)
+            if not isinstance(current, int):
+                raise KVCommandError(f"incr on non-integer cell {op[1]!r}")
+            self._data[op[1]] = current + op[2]
+        elif kind == "noop":
+            pass
+        else:
+            raise KVCommandError(f"unknown command kind {kind!r}")
+        self._applied.append(txid)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    @property
+    def applied_count(self) -> int:
+        return len(self._applied)
+
+    @property
+    def applied_txids(self) -> list[str]:
+        return list(self._applied)
+
+    def state_digest(self) -> str:
+        """Order-independent digest of the current map plus the applied
+        log order — two replicas agree iff their digests agree."""
+        material = repr(sorted(self._data.items())) + "|" + repr(self._applied)
+        return hashlib.sha256(material.encode()).hexdigest()[:16]

@@ -1,0 +1,75 @@
+"""Transaction mempool.
+
+The liveness property of multi-shot consensus (Definition 2) is stated
+over transactions: anything a well-behaved node receives must
+eventually appear in every finalized chain.  The mempool is the queue
+between clients and block proposers: FIFO with deduplication, batch
+extraction for payloads, and acknowledgement of finalized transactions
+so re-proposals stop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An opaque client command with a client-chosen unique id."""
+
+    txid: str
+    op: object
+
+    def wire_size(self) -> int:
+        return len(self.txid) + len(repr(self.op))
+
+
+class Mempool:
+    """FIFO pool with dedup and finalization acknowledgement."""
+
+    def __init__(self, max_batch: int = 100) -> None:
+        self.max_batch = max_batch
+        self._pending: OrderedDict[str, Transaction] = OrderedDict()
+        self._finalized: set[str] = set()
+
+    def add(self, txn: Transaction) -> bool:
+        """Queue a transaction; returns False for duplicates/finalized."""
+        if txn.txid in self._pending or txn.txid in self._finalized:
+            return False
+        self._pending[txn.txid] = txn
+        return True
+
+    def next_batch(self, exclude: frozenset[str] = frozenset()) -> tuple[Transaction, ...]:
+        """Up to ``max_batch`` oldest pending transactions.
+
+        Transactions are not removed here — they stay pending until
+        acknowledged via :meth:`mark_finalized`, so a failed block's
+        payload is re-proposed by a later leader.  ``exclude`` lets a
+        proposer skip transactions already included in the unfinalized
+        chain it is extending (they are in flight, not failed).
+        """
+        batch = []
+        for txid, txn in self._pending.items():
+            if txid in exclude:
+                continue
+            batch.append(txn)
+            if len(batch) >= self.max_batch:
+                break
+        return tuple(batch)
+
+    def mark_finalized(self, txids: list[str]) -> None:
+        for txid in txids:
+            self._pending.pop(txid, None)
+            self._finalized.add(txid)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def finalized_count(self) -> int:
+        return len(self._finalized)
+
+    def is_finalized(self, txid: str) -> bool:
+        return txid in self._finalized

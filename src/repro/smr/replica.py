@@ -1,0 +1,105 @@
+"""SMR replica: Multi-shot TetraBFT + mempool + deterministic execution.
+
+This is the deployment shape the paper's introduction motivates: a
+quasi-permissionless blockchain node.  A :class:`Replica` wraps a
+:class:`~repro.multishot.node.MultiShotNode`; when this replica leads a
+slot it proposes a batch from its mempool, and every finalized block's
+transactions are applied, in chain order, to the local
+:class:`~repro.smr.kvstore.KVStore`.
+
+Clients inject transactions with :meth:`submit`; in a simulation,
+spread the same transactions to at least one well-behaved replica and
+Definition 2's liveness says they eventually execute everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.multishot.block import Block
+from repro.multishot.node import MultiShotConfig, MultiShotNode
+from repro.quorums.system import NodeId
+from repro.sim.runner import NodeContext, SimNode
+from repro.smr.kvstore import KVStore
+from repro.smr.mempool import Mempool, Transaction
+
+
+class Replica(SimNode):
+    """One blockchain replica (consensus + mempool + execution)."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: MultiShotConfig,
+        max_batch: int = 100,
+    ) -> None:
+        self.node_id = node_id
+        self.mempool = Mempool(max_batch=max_batch)
+        self.store = KVStore()
+        self.executed_blocks: list[Block] = []
+        self.consensus = MultiShotNode(
+            node_id,
+            config,
+            payload_fn=self._make_payload,
+            on_finalize=self._execute_block,
+        )
+
+    # -- SimNode plumbing -----------------------------------------------------
+
+    def start(self, ctx: NodeContext) -> None:
+        self.consensus.start(ctx)
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        self.consensus.receive(sender, message)
+
+    # -- client API --------------------------------------------------------------
+
+    def submit(self, txn: Transaction) -> bool:
+        """Inject a client transaction into this replica's mempool."""
+        return self.mempool.add(txn)
+
+    @property
+    def finalized_chain(self) -> list[Block]:
+        return self.consensus.finalized_chain
+
+    def state_digest(self) -> str:
+        return self.store.state_digest()
+
+    # -- consensus callbacks --------------------------------------------------------
+
+    def _make_payload(self, slot: int, parent: str) -> object:
+        """Block payload when this replica leads ``slot``: a mempool batch.
+
+        The batch is not removed from the mempool — the block may be
+        aborted by a view change, in which case a later leader (or this
+        one, in a later slot) re-proposes the transactions.  They leave
+        the pool only on finalization.  Transactions already included
+        on the unfinalized lineage we extend are skipped: they are in
+        flight, and re-including them would waste the block on
+        duplicates the executor must then discard.
+        """
+        del slot
+        in_flight: set[str] = set()
+        chain = self.consensus.store.chain_to_genesis(parent)
+        if chain is not None:
+            for block in chain:
+                payload = block.payload
+                if isinstance(payload, tuple):
+                    in_flight.update(
+                        txn.txid for txn in payload if isinstance(txn, Transaction)
+                    )
+        return self.mempool.next_batch(exclude=frozenset(in_flight))
+
+    def _execute_block(self, block: Block) -> None:
+        """Apply one finalized block in chain order."""
+        self.executed_blocks.append(block)
+        payload = block.payload
+        if not isinstance(payload, tuple):
+            return  # e.g. a synthetic payload from a non-SMR proposer
+        applied_ids = []
+        for txn in payload:
+            if not isinstance(txn, Transaction):
+                continue
+            if self.mempool.is_finalized(txn.txid):
+                continue  # duplicate across blocks: first execution wins
+            self.store.apply(txn.txid, txn.op)
+            applied_ids.append(txn.txid)
+        self.mempool.mark_finalized(applied_ids)

@@ -1,0 +1,55 @@
+"""Formal-verification substrate: TLA+ spec port + explicit-state checker."""
+
+from repro.verification.checker import (
+    CheckResult,
+    LivenessResult,
+    check_agreement,
+    check_invariants,
+    check_liveness,
+    explore,
+)
+from repro.verification.invariants import (
+    ALL_INVARIANTS,
+    consistency,
+    consistency_invariant,
+    no_future_vote,
+    one_value_per_phase_per_round,
+    safe_at,
+    vote_has_quorum_in_previous_phase,
+    votes_safe,
+)
+from repro.verification.model import (
+    Action,
+    ModelConfig,
+    ModelState,
+    accepted,
+    claims_safe_at,
+    decided_values,
+    shows_safe_at,
+    successors,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "Action",
+    "CheckResult",
+    "LivenessResult",
+    "ModelConfig",
+    "ModelState",
+    "accepted",
+    "check_agreement",
+    "check_invariants",
+    "check_liveness",
+    "claims_safe_at",
+    "consistency",
+    "consistency_invariant",
+    "decided_values",
+    "explore",
+    "no_future_vote",
+    "one_value_per_phase_per_round",
+    "safe_at",
+    "shows_safe_at",
+    "successors",
+    "vote_has_quorum_in_previous_phase",
+    "votes_safe",
+]

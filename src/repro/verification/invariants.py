@@ -1,0 +1,121 @@
+"""The paper's inductive invariants, ported from the TLA+ spec.
+
+The Apalache verification (Section 5) does not unroll executions; it
+checks that ``ConsistencyInvariant`` — a conjunction of structural
+facts about votes — is *inductive* (holds initially and is preserved by
+every step) and implies agreement.  We port each conjunct so that:
+
+* the explicit-state checker asserts them on every reachable state
+  (they must all be invariants if the port is faithful), and
+* the property-based tests perform the inductive-step check itself on
+  randomly generated invariant-satisfying states, which is the closest
+  Python analogue of what Apalache does symbolically.
+"""
+
+from __future__ import annotations
+
+from repro.verification.model import (
+    ModelConfig,
+    ModelState,
+    decided_values,
+)
+
+
+def no_future_vote(state: ModelState, config: ModelConfig) -> bool:
+    """No honest process has voted in a round above its current round."""
+    del config
+    return all(
+        vt[0] <= state.rounds[p]
+        for p, votes in enumerate(state.votes)
+        for vt in votes
+    )
+
+
+def one_value_per_phase_per_round(state: ModelState, config: ModelConfig) -> bool:
+    """An honest process votes at most one value per (round, phase)."""
+    del config
+    for votes in state.votes:
+        seen: dict[tuple[int, int], int] = {}
+        for rnd, phase, value in votes:
+            key = (rnd, phase)
+            if key in seen and seen[key] != value:
+                return False
+            seen[key] = value
+    return True
+
+
+def vote_has_quorum_in_previous_phase(state: ModelState, config: ModelConfig) -> bool:
+    """Every phase>1 vote is backed by a quorum of the preceding phase.
+
+    The quorum may include the adversary's ``f`` wildcards, exactly as
+    the TLA+ version counts ``Q \\ Byz`` honest voters plus Byzantine
+    members.
+    """
+    for votes in state.votes:
+        for rnd, phase, value in votes:
+            if phase == 1:
+                continue
+            honest_backers = sum(
+                1
+                for other in state.votes
+                if (rnd, phase - 1, value) in other
+            )
+            if honest_backers + config.f < config.quorum_size:
+                return False
+    return True
+
+
+def _none_other_choosable_at(
+    state: ModelState, config: ModelConfig, rnd: int, value: int
+) -> bool:
+    """TLA+ ``NoneOtherChoosableAt``: some quorum's members either voted
+    (phase 4) for ``value`` at ``rnd`` or can no longer vote there."""
+    supporters = 0
+    for p in range(config.honest):
+        voted_for = (rnd, 4, value) in state.votes[p]
+        cannot_vote = state.rounds[p] > rnd and not any(
+            vt[0] == rnd and vt[1] == 4 for vt in state.votes[p]
+        )
+        if voted_for or cannot_vote:
+            supporters += 1
+    return supporters + config.f >= config.quorum_size
+
+
+def safe_at(state: ModelState, config: ModelConfig, rnd: int, value: int) -> bool:
+    """TLA+ ``SafeAt``: no other value can be chosen below ``rnd``."""
+    return all(
+        _none_other_choosable_at(state, config, c, value) for c in range(rnd)
+    )
+
+
+def votes_safe(state: ModelState, config: ModelConfig) -> bool:
+    """Every honest vote is for a value safe at its round."""
+    return all(
+        safe_at(state, config, vt[0], vt[2])
+        for votes in state.votes
+        for vt in votes
+    )
+
+
+def consistency(state: ModelState, config: ModelConfig) -> bool:
+    """The agreement property: at most one decided value."""
+    return len(decided_values(state, config)) <= 1
+
+
+def consistency_invariant(state: ModelState, config: ModelConfig) -> bool:
+    """The full inductive invariant of the TLA+ spec."""
+    return (
+        no_future_vote(state, config)
+        and one_value_per_phase_per_round(state, config)
+        and vote_has_quorum_in_previous_phase(state, config)
+        and votes_safe(state, config)
+    )
+
+
+ALL_INVARIANTS = {
+    "no_future_vote": no_future_vote,
+    "one_value_per_phase_per_round": one_value_per_phase_per_round,
+    "vote_has_quorum_in_previous_phase": vote_has_quorum_in_previous_phase,
+    "votes_safe": votes_safe,
+    "consistency": consistency,
+}

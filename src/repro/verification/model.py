@@ -1,0 +1,323 @@
+"""Python port of the paper's TLA+ specification (Appendix B).
+
+The spec models single-shot TetraBFT at a high level: no network, just
+per-process vote sets and round counters, with actions ``StartRound``,
+``Propose``, ``Vote1``–``Vote4`` and Byzantine havoc.  This module
+reproduces that transition system so the explicit-state checker in
+:mod:`repro.verification.checker` can explore it exhaustively on small
+bounds, the counterpart of the paper's Apalache verification.
+
+**Wildcard-Byzantine reduction.**  The TLA+ spec gives Byzantine
+processes concrete (havoc-updated) state.  For explicit-state search
+that multiplies the state space by every possible Byzantine vote set,
+so we use the standard sound reduction: Byzantine processes carry *no*
+state, and wherever the spec counts votes or claims we optionally
+credit the adversary with ``f`` wildcard endorsements (they could have
+sent anything).  For safety checking (``byz_support=True``) this
+over-approximates every concrete Byzantine behaviour, so any safety
+property verified here holds in the TLA+ model too.  For liveness
+checking (``byz_support=False``) the adversary instead withholds
+everything, the worst case for progress.
+
+State mirrors the TLA+ variables ``votes`` and ``round`` for honest
+processes; ``proposed``/``proposal``/``goodRound`` appear only in
+liveness mode (in safety mode ``goodRound = -1`` renders them inert,
+exactly as the spec allows, and yields a superset of behaviours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import combinations
+
+from repro.errors import ConfigurationError
+
+#: A vote record: (round, phase, value index).  Phases 1..4.
+ModelVote = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Bounds of one exploration: n/f, value count, round count."""
+
+    n: int = 4
+    f: int = 1
+    num_values: int = 2
+    max_round: int = 1
+    #: credit the adversary with f wildcard votes (safety mode) or
+    #: nothing (liveness mode).
+    byz_support: bool = True
+    #: liveness mode: a good round in which Propose/Vote1 are pinned.
+    good_round: int = -1
+
+    def __post_init__(self) -> None:
+        if self.n <= 3 * self.f:
+            raise ConfigurationError(f"need n > 3f, got n={self.n} f={self.f}")
+        if self.num_values < 1 or self.max_round < 0:
+            raise ConfigurationError("need at least one value and round")
+
+    @property
+    def honest(self) -> int:
+        """Number of honest processes (the only stateful ones)."""
+        return self.n - self.f
+
+    @property
+    def quorum_size(self) -> int:
+        return self.n - self.f
+
+    @property
+    def blocking_size(self) -> int:
+        return self.f + 1
+
+    @property
+    def rounds(self) -> range:
+        return range(self.max_round + 1)
+
+    @property
+    def values(self) -> range:
+        return range(self.num_values)
+
+    def byz_credit(self) -> int:
+        return self.f if self.byz_support else 0
+
+
+@dataclass(frozen=True)
+class ModelState:
+    """One state: per-honest-process vote sets and round counters."""
+
+    rounds: tuple[int, ...]
+    votes: tuple[frozenset[ModelVote], ...]
+    proposed: bool = False
+    proposal: int = 0
+
+    @classmethod
+    def initial(cls, config: ModelConfig) -> "ModelState":
+        return cls(
+            rounds=tuple([-1] * config.honest),
+            votes=tuple([frozenset()] * config.honest),
+        )
+
+    def canonical_key(self, config: ModelConfig) -> tuple:
+        """Symmetry-reduced fingerprint of this state.
+
+        The spec is symmetric under permutations of honest processes
+        and of values (neither leaders nor initial values are modeled
+        per-identity), so states differing only by relabelling are
+        equivalent for every property we check.  We canonicalize by
+        trying every value permutation, sorting processes, and taking
+        the lexicographically least serialization — a 2-to-10×
+        state-space reduction that makes explicit exploration feasible
+        at the bounds the benches use.
+        """
+        from itertools import permutations
+
+        best: tuple | None = None
+        for perm in permutations(range(config.num_values)):
+            mapped = [
+                tuple(sorted((r, ph, perm[v]) for (r, ph, v) in votes))
+                for votes in self.votes
+            ]
+            paired = tuple(sorted(zip(self.rounds, mapped)))
+            proposal = perm[self.proposal] if self.proposed else -1
+            key = (paired, self.proposed, proposal)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        return best
+
+
+# -- spec predicates ---------------------------------------------------------------
+
+
+def accepted(state: ModelState, config: ModelConfig, value: int, rnd: int, phase: int) -> bool:
+    """TLA+ ``Accepted``: a quorum voted (rnd, phase, value)."""
+    honest_votes = sum(
+        1 for vs in state.votes if (rnd, phase, value) in vs
+    )
+    return honest_votes + config.byz_credit() >= config.quorum_size
+
+
+def claims_safe_at(
+    votes: frozenset[ModelVote], value: int, rnd: int, r2: int, phase: int
+) -> bool:
+    """TLA+ ``ClaimsSafeAt`` for one honest process's vote set."""
+    if r2 == 0:
+        return True
+    for vt1 in votes:
+        if not (vt1[0] < rnd and r2 <= vt1[0] and vt1[1] == phase):
+            continue
+        if vt1[2] == value:
+            return True
+        for vt2 in votes:
+            if (
+                r2 <= vt2[0] < vt1[0]
+                and vt2[1] == phase
+                and vt2[2] != vt1[2]
+            ):
+                return True
+    return False
+
+
+def shows_safe_at(
+    state: ModelState,
+    config: ModelConfig,
+    value: int,
+    rnd: int,
+    phase_a: int,
+    phase_b: int,
+) -> bool:
+    """TLA+ ``ShowsSafeAt``: some quorum certifies ``value`` safe at ``rnd``.
+
+    The quorum mixes honest members (whose reported votes are their
+    real ones) with up to ``byz_credit`` wildcards (who satisfy any
+    per-member condition).  We therefore quantify over honest subsets
+    of size ≥ quorum_size − credit and check the spec's conditions on
+    those members only.
+    """
+    if rnd == 0:
+        return True
+    credit = config.byz_credit()
+    eligible = [
+        p for p in range(config.honest) if state.rounds[p] >= rnd
+    ]
+    need = config.quorum_size - credit
+    if len(eligible) < need:
+        return False
+    for size in range(need, len(eligible) + 1):
+        for subset in combinations(eligible, size):
+            if _quorum_certifies(state, config, subset, value, rnd, phase_a, phase_b):
+                return True
+    return False
+
+
+def _quorum_certifies(
+    state: ModelState,
+    config: ModelConfig,
+    honest_members: tuple[int, ...],
+    value: int,
+    rnd: int,
+    phase_a: int,
+    phase_b: int,
+) -> bool:
+    votes_a = [
+        (p, vt)
+        for p in honest_members
+        for vt in state.votes[p]
+        if vt[1] == phase_a and vt[0] < rnd
+    ]
+    if not votes_a:
+        return True  # no member voted in phase A before rnd
+    for r2 in range(rnd):
+        if any(vt[0] > r2 for _, vt in votes_a):
+            continue
+        if any(vt[0] == r2 and vt[2] != value for _, vt in votes_a):
+            continue
+        # Need a blocking set claiming value safe at r2; the adversary
+        # covers `credit` members, the rest must be honest claimants.
+        honest_needed = config.blocking_size - config.byz_credit()
+        claimants = sum(
+            1
+            for p in range(config.honest)
+            if claims_safe_at(state.votes[p], value, rnd, r2, phase_b)
+        )
+        if claimants >= honest_needed:
+            return True
+    return False
+
+
+def decided_values(state: ModelState, config: ModelConfig) -> set[int]:
+    """TLA+ ``decided``: values with a quorum of phase-4 votes in one round."""
+    result = set()
+    for rnd in config.rounds:
+        for value in config.values:
+            if accepted(state, config, value, rnd, 4):
+                result.add(value)
+    return result
+
+
+# -- actions -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Action:
+    """A labelled transition, for counterexample traces."""
+
+    name: str
+    process: int
+    value: int
+    round: int
+
+    def __str__(self) -> str:
+        return f"{self.name}(p={self.process}, v={self.value}, r={self.round})"
+
+
+def _do_vote(state: ModelState, p: int, value: int, rnd: int, phase: int) -> ModelState | None:
+    """TLA+ ``DoVote``: add the vote unless (rnd, phase) already voted."""
+    if any(vt[0] == rnd and vt[1] == phase for vt in state.votes[p]):
+        return None
+    new_votes = list(state.votes)
+    new_votes[p] = state.votes[p] | {(rnd, phase, value)}
+    return replace(state, votes=tuple(new_votes))
+
+
+def successors(
+    state: ModelState, config: ModelConfig
+) -> list[tuple[Action, ModelState]]:
+    """All enabled (action, next-state) pairs — the TLA+ ``Next`` relation."""
+    result: list[tuple[Action, ModelState]] = []
+    good = config.good_round
+    for p in range(config.honest):
+        # StartRound(p, r): good rounds last forever (r ≤ goodRound).
+        for rnd in config.rounds:
+            if state.rounds[p] < rnd and (good < 0 or rnd <= good):
+                result.append(
+                    (
+                        Action("StartRound", p, -1, rnd),
+                        replace(
+                            state,
+                            rounds=tuple(
+                                rnd if q == p else r
+                                for q, r in enumerate(state.rounds)
+                            ),
+                        ),
+                    )
+                )
+        for value in config.values:
+            rnd = state.rounds[p]
+            # Vote1(p, v, r) at r == round[p].
+            if rnd >= 0:
+                pinned = good >= 0 and rnd == good
+                proposal_ok = not pinned or (state.proposed and value == state.proposal)
+                if proposal_ok and shows_safe_at(state, config, value, rnd, 4, 1):
+                    voted = _do_vote(state, p, value, rnd, 1)
+                    if voted is not None:
+                        result.append((Action("Vote1", p, value, rnd), voted))
+            # Vote2..4(p, v, r) at any r ≥ round[p].
+            for rnd2 in config.rounds:
+                if rnd2 < state.rounds[p]:
+                    continue
+                for phase in (2, 3, 4):
+                    if not accepted(state, config, value, rnd2, phase - 1):
+                        continue
+                    voted = _do_vote(state, p, value, rnd2, phase)
+                    if voted is None:
+                        continue
+                    moved = replace(
+                        voted,
+                        rounds=tuple(
+                            rnd2 if q == p else r
+                            for q, r in enumerate(voted.rounds)
+                        ),
+                    )
+                    result.append((Action(f"Vote{phase}", p, value, rnd2), moved))
+    # Propose(v) in the good round (liveness mode only).
+    if good >= 0 and not state.proposed:
+        for value in config.values:
+            if shows_safe_at(state, config, value, good, 3, 2):
+                result.append(
+                    (
+                        Action("Propose", -1, value, good),
+                        replace(state, proposed=True, proposal=value),
+                    )
+                )
+    return result

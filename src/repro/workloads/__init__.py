@@ -1,0 +1,10 @@
+"""Seeded transaction workload generators for SMR experiments."""
+
+from repro.workloads.generators import (
+    BurstyWorkload,
+    HotKeyWorkload,
+    UniformWorkload,
+    Workload,
+)
+
+__all__ = ["BurstyWorkload", "HotKeyWorkload", "UniformWorkload", "Workload"]

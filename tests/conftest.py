@@ -1,0 +1,132 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import pytest
+
+from repro.core import ProtocolConfig, TetraBFTNode
+from repro.sim import Simulation, SynchronousDelays
+from repro.sim.trace import TraceKind
+
+
+class FakeTimer:
+    """Handle returned by :class:`FakeContext.set_timer`."""
+
+    def __init__(self, deadline: float, callback: Callable[[], None]) -> None:
+        self.deadline = deadline
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class FakeContext:
+    """A duck-typed NodeContext that records everything a node does.
+
+    Unit tests drive a single node state machine directly: feed it
+    messages via ``node.receive``, then inspect ``sent``/``broadcasts``
+    and fire timers manually with :meth:`fire_timers`.
+    """
+
+    def __init__(self, node_id: int = 0) -> None:
+        self.node_id = node_id
+        self._now = 0.0
+        self.sent: list[tuple[int, object]] = []          # (dst, message)
+        self.broadcasts: list[object] = []
+        self.timers: list[FakeTimer] = []
+        self.decisions: list[object] = []
+        self.view_entries: list[int] = []
+        self.storage_reports: list[int] = []
+        self.trace_events: list[tuple[TraceKind, dict]] = []
+
+    # -- context API ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def send(self, dst: int, message: object) -> None:
+        self.sent.append((dst, message))
+
+    def broadcast(self, message: object) -> None:
+        self.broadcasts.append(message)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> FakeTimer:
+        timer = FakeTimer(self._now + delay, callback)
+        self.timers.append(timer)
+        return timer
+
+    def report_decision(self, value: object) -> None:
+        self.decisions.append(value)
+
+    def report_view_entry(self, view: int) -> None:
+        self.view_entries.append(view)
+
+    def report_storage(self, size_bytes: int) -> None:
+        self.storage_reports.append(size_bytes)
+
+    def trace(self, kind: TraceKind, **detail: object) -> None:
+        self.trace_events.append((kind, detail))
+
+    # -- test helpers ----------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        self._now += dt
+
+    def fire_timers(self) -> int:
+        """Fire every due, uncancelled timer; returns how many fired."""
+        fired = 0
+        for timer in list(self.timers):
+            if not timer.cancelled and timer.deadline <= self._now:
+                self.timers.remove(timer)
+                timer.callback()
+                fired += 1
+        return fired
+
+    def messages_of(self, message_type: type) -> list[object]:
+        return [m for m in self.broadcasts if isinstance(m, message_type)]
+
+
+@pytest.fixture
+def fake_ctx() -> FakeContext:
+    return FakeContext()
+
+
+@pytest.fixture
+def config4() -> ProtocolConfig:
+    """The paper's canonical n=4, f=1 configuration."""
+    return ProtocolConfig.create(4)
+
+
+@pytest.fixture
+def config7() -> ProtocolConfig:
+    return ProtocolConfig.create(7)
+
+
+def build_simulation(
+    n: int,
+    policy=None,
+    config: ProtocolConfig | None = None,
+    values: Callable[[int], object] | None = None,
+    trace: bool = False,
+) -> Simulation:
+    """A simulation of n honest TetraBFT nodes (helper for integration tests)."""
+    config = config or ProtocolConfig.create(n)
+    sim = Simulation(policy or SynchronousDelays(1.0), trace_enabled=trace)
+    for i in range(n):
+        value = values(i) if values else f"val-{i}"
+        sim.add_node(TetraBFTNode(i, config, initial_value=value))
+    return sim
+
+
+def assert_agreement(sim: Simulation, node_ids: list[int]) -> object:
+    """All listed nodes decided, and on the same value; returns it."""
+    latency = sim.metrics.latency
+    undecided = [i for i in node_ids if i not in latency.decision_times]
+    assert not undecided, f"nodes {undecided} never decided"
+    values = {latency.decision_values[i] for i in node_ids}
+    assert len(values) == 1, f"disagreement: {values}"
+    return values.pop()

@@ -1,0 +1,79 @@
+"""Unit tests for adversarial network schedulers."""
+
+from __future__ import annotations
+
+from repro.sim import (
+    PartitionPolicy,
+    ScriptedPolicy,
+    SkewedDelays,
+    SynchronousDelays,
+    TargetedDropPolicy,
+    censor_types,
+    silence_nodes,
+)
+
+BASE = SynchronousDelays(1.0)
+
+
+class TestTargetedDrop:
+    def test_silenced_node_messages_dropped(self):
+        policy = TargetedDropPolicy(BASE, silence_nodes([2]))
+        assert policy.delay(0.0, 2, 0, "x") is None
+        assert policy.delay(0.0, 0, 2, "x") == 1.0  # inbound unaffected
+
+    def test_window_bounds(self):
+        policy = TargetedDropPolicy(BASE, silence_nodes([0]), start=5.0, end=10.0)
+        assert policy.delay(0.0, 0, 1, "x") == 1.0   # before window
+        assert policy.delay(7.0, 0, 1, "x") is None  # inside
+        assert policy.delay(10.0, 0, 1, "x") == 1.0  # end is exclusive
+
+    def test_censor_types_matches_class_name(self):
+        class Proposal:
+            pass
+
+        policy = TargetedDropPolicy(BASE, censor_types("Proposal"))
+        assert policy.delay(0.0, 0, 1, Proposal()) is None
+        assert policy.delay(0.0, 0, 1, "other") == 1.0
+
+
+class TestPartition:
+    def test_cross_partition_dropped_until_heal(self):
+        policy = PartitionPolicy(
+            BASE, groups=[frozenset({0, 1})], heal_time=10.0
+        )
+        assert policy.delay(0.0, 0, 2, "x") is None   # cross groups
+        assert policy.delay(0.0, 0, 1, "x") == 1.0    # same group
+        assert policy.delay(10.0, 0, 2, "x") == 1.0   # healed
+
+    def test_nodes_outside_all_groups_form_implicit_group(self):
+        policy = PartitionPolicy(
+            BASE, groups=[frozenset({0})], heal_time=100.0
+        )
+        assert policy.delay(0.0, 1, 2, "x") == 1.0  # both implicit
+        assert policy.delay(0.0, 0, 1, "x") is None
+
+
+class TestSkewedDelays:
+    def test_per_destination_delays(self):
+        policy = SkewedDelays(delta=1.0, delta_for={0: 0.25})
+        assert policy.delay(0.0, 1, 0, "x") == 0.25
+        assert policy.delay(0.0, 1, 2, "x") == 1.0
+
+    def test_never_exceeds_delta(self):
+        policy = SkewedDelays(delta=1.0, delta_for={0: 5.0})
+        assert policy.delay(0.0, 1, 0, "x") == 1.0
+
+
+class TestScripted:
+    def test_script_controls_specific_occurrence(self):
+        policy = ScriptedPolicy(
+            BASE,
+            script={(0, 1, "str", 0): None, (0, 1, "str", 1): 3.0},
+        )
+        assert policy.delay(0.0, 0, 1, "first") is None
+        assert policy.delay(0.0, 0, 1, "second") == 3.0
+        assert policy.delay(0.0, 0, 1, "third") == 1.0  # falls through
+
+    def test_unscripted_links_fall_through(self):
+        policy = ScriptedPolicy(BASE, script={})
+        assert policy.delay(0.0, 0, 1, "x") == 1.0

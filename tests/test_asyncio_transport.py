@@ -1,0 +1,54 @@
+"""The same node objects over real asyncio wall-clock time."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import ProtocolConfig, TetraBFTNode
+from repro.multishot import MultiShotConfig, MultiShotNode
+from repro.sim.asyncio_transport import AsyncioCluster
+
+
+def test_singleshot_decides_over_asyncio():
+    config = ProtocolConfig.create(4)
+    cluster = AsyncioCluster(link_delay=0.004)
+    for i in range(4):
+        cluster.add_node(TetraBFTNode(i, config, initial_value=f"v{i}"))
+    asyncio.run(cluster.run_until_all_decided(timeout=5.0))
+    latency = cluster.metrics.latency
+    assert latency.all_decided([0, 1, 2, 3])
+    assert len(latency.decided_values()) == 1
+    # Wall-clock latency ≈ 5 link delays (generous bounds: CI jitter).
+    assert latency.max_decision_time() < 40
+
+
+def test_multishot_pipelines_over_asyncio():
+    config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=10)
+    cluster = AsyncioCluster(link_delay=0.004)
+    nodes = [MultiShotNode(i, config) for i in range(4)]
+    for node in nodes:
+        cluster.add_node(node)
+
+    asyncio.run(
+        cluster.run(
+            duration=3.0,
+            stop_when=lambda: all(len(n.finalized_chain) >= 7 for n in nodes),
+        )
+    )
+    chains = [[b.digest for b in n.finalized_chain] for n in nodes]
+    reference = max(chains, key=len)
+    for chain in chains:
+        assert reference[: len(chain)] == chain
+    assert all(len(c) >= 7 for c in chains)
+
+
+def test_duplicate_node_rejected():
+    from repro.errors import SimulationError
+
+    cluster = AsyncioCluster()
+    config = ProtocolConfig.create(4)
+    cluster.add_node(TetraBFTNode(0, config, initial_value="v"))
+    with pytest.raises(SimulationError):
+        cluster.add_node(TetraBFTNode(0, config, initial_value="v"))

@@ -1,0 +1,111 @@
+"""Smoke tests for the evaluation harness (small parameters).
+
+The full-size assertions live in benchmarks/; these verify the
+experiment runners are importable, run on reduced parameters, and
+return structurally sound results, so a broken harness fails fast in
+the unit suite rather than late in a long bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    PROTOCOLS,
+    run_lemma_chain,
+    run_pipeline,
+    run_responsiveness,
+    run_scaling,
+    run_table1,
+    run_timeout_ablation,
+    run_verification,
+    run_viewchange,
+)
+from repro.eval.report import format_series, format_table
+from repro.eval.table1 import fit_growth_exponent
+from repro.verification import ModelConfig
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22.5, "b": "y"}]
+        text = format_table(rows, ["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "22.50" in text and "xx" in text
+
+    def test_format_series(self):
+        text = format_series([(1, 2.0), (10, 3.5)], title="S")
+        assert text.startswith("S")
+        assert "3.50" in text
+
+    def test_fit_growth_exponent_recovers_powers(self):
+        ns = [4, 8, 16, 32]
+        assert fit_growth_exponent(ns, [n**2 for n in ns]) == pytest.approx(2.0)
+        assert fit_growth_exponent(ns, [n**3 for n in ns]) == pytest.approx(3.0)
+
+
+class TestTable1Small:
+    def test_rows_have_expected_protocols(self):
+        rows = run_table1(n=4, sweep=(4, 7), storage_runs=(30.0, 90.0))
+        names = {row["protocol"] for row in rows}
+        assert names == {entry.name for entry in PROTOCOLS}
+
+    def test_latencies_exact_even_at_small_params(self):
+        rows = run_table1(n=4, sweep=(4, 7), storage_runs=(30.0, 90.0))
+        for row in rows:
+            assert row["good_case"] == row["paper_good_case"]
+            assert row["view_change"] == row["paper_view_change"]
+
+
+class TestFigures:
+    def test_fig1_chain(self):
+        assert run_lemma_chain(n=4).chain_holds
+
+    def test_fig2_small(self):
+        result = run_pipeline(n=4, blocks=8)
+        assert result.finalize_times[0] == (5.0, 1)
+        assert result.blocks_finalized == 8
+        assert result.speedup > 2.5  # fill dominates at 8 blocks
+
+    def test_fig3_small(self):
+        result = run_viewchange(n=4, crashed=3, crash_end=25.0, max_slots=10)
+        assert result.consistent
+        assert 1 <= result.max_aborted <= 5
+        assert result.recovery_delays <= 5.0
+
+
+class TestAblations:
+    def test_responsiveness_shape(self):
+        points = run_responsiveness(delta_bound=4.0, actual_deltas=(0.5, 4.0))
+        fast, slow = points
+        assert fast.tetrabft_latency == pytest.approx(7 * 0.5)
+        assert fast.blog_latency >= 4.0
+
+    def test_scaling_small(self):
+        rows = run_scaling(ns=(4, 7, 10))
+        by_name = {r.protocol: r for r in rows}
+        assert by_name["pbft"].total_exponent > by_name["tetrabft"].total_exponent
+
+    def test_timeout_point_structure(self):
+        from repro.eval.timeout_ablation import run_timeout_point
+
+        point = run_timeout_point(9.0)
+        assert point.all_decided and point.views_entered == 1
+        assert run_timeout_ablation((9.0,))[0].all_decided
+
+
+class TestVerificationRunner:
+    def test_tiny_verification_summary(self):
+        summary = run_verification(
+            explore_config=ModelConfig(n=4, f=1, num_values=2, max_round=0),
+            liveness_config=ModelConfig(
+                n=4, f=1, num_values=1, max_round=1, byz_support=False, good_round=1
+            ),
+            max_states=50_000,
+        )
+        assert summary.agreement_ok
+        assert summary.invariant_ok
+        assert summary.liveness_ok
+        assert summary.inductive_ok
+        assert summary.inductive_steps_checked > 100

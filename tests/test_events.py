@@ -1,0 +1,137 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventScheduler
+
+
+def test_events_fire_in_time_order():
+    sched = EventScheduler()
+    order = []
+    sched.schedule(3.0, lambda: order.append("c"))
+    sched.schedule(1.0, lambda: order.append("a"))
+    sched.schedule(2.0, lambda: order.append("b"))
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_timestamps_fire_in_insertion_order():
+    sched = EventScheduler()
+    order = []
+    for tag in ("first", "second", "third"):
+        sched.schedule(1.0, lambda t=tag: order.append(t))
+    sched.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(2.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [2.5]
+    assert sched.now == 2.5
+
+
+def test_run_until_leaves_later_events_queued():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, lambda: fired.append(1))
+    sched.schedule(5.0, lambda: fired.append(5))
+    stop = sched.run(until=3.0)
+    assert fired == [1]
+    assert stop == 3.0
+    assert sched.pending() == 1
+    sched.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sched = EventScheduler()
+    sched.run(until=10.0)
+    assert sched.now == 10.0
+
+
+def test_cancellation_prevents_firing():
+    sched = EventScheduler()
+    fired = []
+    handle = sched.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    sched.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_twice_is_harmless():
+    sched = EventScheduler()
+    handle = sched.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_events_scheduled_during_run_fire():
+    sched = EventScheduler()
+    order = []
+
+    def outer():
+        order.append("outer")
+        sched.schedule(1.0, lambda: order.append("inner"))
+
+    sched.schedule(1.0, outer)
+    sched.run()
+    assert order == ["outer", "inner"]
+    assert sched.now == 2.0
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sched = EventScheduler()
+    times = []
+    sched.schedule(1.0, lambda: sched.schedule(0.0, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [1.0]
+
+
+def test_negative_delay_rejected():
+    sched = EventScheduler()
+    with pytest.raises(SimulationError):
+        sched.schedule(-0.1, lambda: None)
+
+
+def test_stop_when_predicate_halts_run():
+    sched = EventScheduler()
+    fired = []
+    for k in range(10):
+        sched.schedule(float(k + 1), lambda k=k: fired.append(k))
+    sched.run(stop_when=lambda: len(fired) >= 3)
+    assert fired == [0, 1, 2]
+
+
+def test_max_events_budget_raises_on_livelock():
+    sched = EventScheduler()
+
+    def rearm():
+        sched.schedule(1.0, rearm)
+
+    sched.schedule(1.0, rearm)
+    with pytest.raises(SimulationError, match="budget"):
+        sched.run(max_events=50)
+
+
+def test_schedule_at_absolute_time():
+    sched = EventScheduler()
+    times = []
+    sched.schedule_at(4.0, lambda: times.append(sched.now))
+    sched.run()
+    assert times == [4.0]
+
+
+def test_events_fired_counter():
+    sched = EventScheduler()
+    for _ in range(5):
+        sched.schedule(1.0, lambda: None)
+    sched.run()
+    assert sched.events_fired == 5

@@ -1,0 +1,101 @@
+"""Heterogeneous-trust extension: TetraBFT over an FBA quorum system.
+
+The paper (§1.2) argues unauthenticated protocols transfer to federated
+trust models like Stellar's FBA, where quorums come from per-node slice
+declarations instead of a global n/f.  The node state machines in this
+library only ever talk to the :class:`QuorumSystem` interface, so the
+transfer is literal: build a ProtocolConfig around an FBAQuorumSystem
+and run the unchanged TetraBFTNode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig, TetraBFTNode
+from repro.quorums import FBAQuorumSystem, SliceConfig, validate_fba_system
+from repro.sim import (
+    Simulation,
+    SynchronousDelays,
+    TargetedDropPolicy,
+    UniformRandomDelays,
+    silence_nodes,
+)
+from tests.conftest import assert_agreement
+
+
+def symmetric_fba(n: int = 4, k: int = 2) -> FBAQuorumSystem:
+    return FBAQuorumSystem.from_slices(
+        [SliceConfig.threshold(i, range(n), k=k) for i in range(n)]
+    )
+
+
+def tiered_fba() -> FBAQuorumSystem:
+    """Three core nodes trusting 2-of-core; two leaves trusting the core.
+
+    A realistic federated topology: the core can make progress alone,
+    leaves follow the core.
+    """
+    core = [SliceConfig.threshold(i, [0, 1, 2], k=2) for i in (0, 1, 2)]
+    leaves = [
+        SliceConfig(node=3, slices=frozenset([frozenset({0, 1, 3}), frozenset({1, 2, 3})])),
+        SliceConfig(node=4, slices=frozenset([frozenset({0, 2, 4}), frozenset({1, 2, 4})])),
+    ]
+    return FBAQuorumSystem.from_slices(core + leaves)
+
+
+def build_fba_sim(qs: FBAQuorumSystem, policy=None) -> Simulation:
+    config = ProtocolConfig(quorum_system=qs)
+    sim = Simulation(policy or SynchronousDelays(1.0))
+    for i in sorted(qs.nodes):
+        sim.add_node(TetraBFTNode(i, config, initial_value=f"val-{i}"))
+    return sim
+
+
+class TestSymmetricFBA:
+    def test_good_case_matches_threshold_behaviour(self):
+        qs = symmetric_fba()
+        validate_fba_system(qs)
+        sim = build_fba_sim(qs)
+        sim.run_until_all_decided(until=100)
+        assert_agreement(sim, [0, 1, 2, 3])
+        assert sim.metrics.latency.max_decision_time() == 5.0
+
+    def test_crashed_leader_view_change(self):
+        qs = symmetric_fba()
+        sim = build_fba_sim(
+            qs, TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([0]))
+        )
+        sim.run_until_all_decided(node_ids=[1, 2, 3], until=300)
+        assert_agreement(sim, [1, 2, 3])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_delays(self, seed):
+        sim = build_fba_sim(symmetric_fba(), UniformRandomDelays(0.2, 1.0, seed=seed))
+        sim.run_until_all_decided(until=500)
+        assert_agreement(sim, [0, 1, 2, 3])
+
+
+class TestTieredFBA:
+    def test_validates(self):
+        validate_fba_system(tiered_fba())
+
+    def test_all_nodes_decide_and_agree(self):
+        sim = build_fba_sim(tiered_fba())
+        sim.run_until_all_decided(until=300)
+        assert_agreement(sim, [0, 1, 2, 3, 4])
+
+    def test_core_alone_is_a_quorum(self):
+        qs = tiered_fba()
+        assert qs.is_quorum({0, 1, 2})
+        # Leaves cannot form one without the core.
+        assert not qs.is_quorum({3, 4})
+
+    def test_progress_with_crashed_leaf(self):
+        """The core plus one leaf still decides when a leaf crashes."""
+        sim = build_fba_sim(
+            tiered_fba(),
+            TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([4])),
+        )
+        sim.run_until_all_decided(node_ids=[0, 1, 2, 3], until=300)
+        assert_agreement(sim, [0, 1, 2, 3])

@@ -1,0 +1,300 @@
+"""Tests for Multi-shot (pipelined) TetraBFT: blocks, chain, node."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig
+from repro.errors import ProtocolViolation
+from repro.multishot import (
+    Block,
+    BlockStore,
+    ChainState,
+    GENESIS_DIGEST,
+    MultiShotConfig,
+    MultiShotNode,
+)
+from repro.sim import (
+    PartialSynchronyPolicy,
+    Simulation,
+    SynchronousDelays,
+    TargetedDropPolicy,
+    TraceKind,
+    silence_nodes,
+)
+
+
+def chain_digests(node: MultiShotNode) -> list[str]:
+    return [b.digest for b in node.finalized_chain]
+
+
+def assert_chains_consistent(sim: Simulation, node_ids: list[int]) -> None:
+    chains = [chain_digests(sim.nodes[i]) for i in node_ids]
+    reference = max(chains, key=len)
+    for chain in chains:
+        assert reference[: len(chain)] == chain, "finalized chains forked"
+
+
+class TestBlock:
+    def test_digest_depends_on_content(self):
+        a = Block.create(1, GENESIS_DIGEST, "p1")
+        b = Block.create(1, GENESIS_DIGEST, "p2")
+        c = Block.create(2, GENESIS_DIGEST, "p1")
+        assert len({a.digest, b.digest, c.digest}) == 3
+
+    def test_digest_deterministic(self):
+        assert (
+            Block.create(1, GENESIS_DIGEST, "p").digest
+            == Block.create(1, GENESIS_DIGEST, "p").digest
+        )
+
+
+class TestBlockStore:
+    def test_ancestor_walk(self):
+        store = BlockStore()
+        b1 = Block.create(1, GENESIS_DIGEST, "a")
+        b2 = Block.create(2, b1.digest, "b")
+        b3 = Block.create(3, b2.digest, "c")
+        for block in (b1, b2, b3):
+            store.add(block)
+        assert store.ancestor_digest(b3.digest, 1) == b2.digest
+        assert store.ancestor_digest(b3.digest, 3) == GENESIS_DIGEST
+        assert store.ancestor_digest(b3.digest, 5) == GENESIS_DIGEST
+
+    def test_missing_body_returns_none(self):
+        store = BlockStore()
+        b2 = Block.create(2, "unknown-parent", "b")
+        store.add(b2)
+        assert store.ancestor_digest(b2.digest, 2) is None
+        assert store.chain_to_genesis(b2.digest) is None
+
+    def test_chain_to_genesis_order(self):
+        store = BlockStore()
+        b1 = Block.create(1, GENESIS_DIGEST, "a")
+        b2 = Block.create(2, b1.digest, "b")
+        store.add(b1)
+        store.add(b2)
+        chain = store.chain_to_genesis(b2.digest)
+        assert chain is not None
+        assert [b.slot for b in chain] == [1, 2]
+
+    def test_prune_keeps_exceptions(self):
+        store = BlockStore()
+        b1 = Block.create(1, GENESIS_DIGEST, "a")
+        b2 = Block.create(2, b1.digest, "b")
+        store.add(b1)
+        store.add(b2)
+        store.prune_below(3, keep={b2.digest})
+        assert b2.digest in store
+        assert b1.digest not in store
+
+
+class TestChainState:
+    def _linked_blocks(self, count: int) -> list[Block]:
+        blocks, parent = [], GENESIS_DIGEST
+        for slot in range(1, count + 1):
+            block = Block.create(slot, parent, f"p{slot}")
+            blocks.append(block)
+            parent = block.digest
+        return blocks
+
+    def test_four_consecutive_notarizations_finalize_first(self):
+        store = BlockStore()
+        chain = ChainState(store)
+        blocks = self._linked_blocks(4)
+        for block in blocks:
+            store.add(block)
+        for block in blocks[:3]:
+            assert chain.notarize(block.slot, block.digest) == []
+        newly = chain.notarize(4, blocks[3].digest)
+        assert [b.slot for b in newly] == [1]
+        assert chain.finalized_height == 1
+
+    def test_prefix_finalizes_with_window(self):
+        store = BlockStore()
+        chain = ChainState(store)
+        blocks = self._linked_blocks(6)
+        for block in blocks:
+            store.add(block)
+        for block in blocks:
+            chain.notarize(block.slot, block.digest)
+        assert chain.finalized_height == 3  # slots 1..3 (6 - window + 1)
+
+    def test_unlinked_notarizations_do_not_finalize(self):
+        store = BlockStore()
+        chain = ChainState(store)
+        blocks = self._linked_blocks(3)
+        stray = Block.create(4, "somewhere-else", "stray")
+        for block in blocks + [stray]:
+            store.add(block)
+        for block in blocks:
+            chain.notarize(block.slot, block.digest)
+        assert chain.notarize(4, stray.digest) == []
+        assert chain.finalized_height == 0
+
+    def test_late_body_completes_finalization(self):
+        store = BlockStore()
+        chain = ChainState(store)
+        blocks = self._linked_blocks(4)
+        for block in blocks:
+            if block.slot != 2:
+                store.add(block)
+        for block in blocks:
+            chain.notarize(block.slot, block.digest)
+        assert chain.finalized_height == 0  # body for slot 2 missing
+        store.add(blocks[1])
+        newly = chain.check_finalization()
+        assert [b.slot for b in newly] == [1]
+
+    def test_fork_in_finalized_chain_raises(self):
+        store = BlockStore()
+        chain = ChainState(store)
+        honest = self._linked_blocks(4)
+        for block in honest:
+            store.add(block)
+            chain.notarize(block.slot, block.digest)
+        assert chain.finalized_height == 1
+        # A conflicting fully-notarized run at the same slots.
+        evil = []
+        parent = GENESIS_DIGEST
+        for slot in range(1, 5):
+            block = Block.create(slot, parent, f"evil{slot}")
+            evil.append(block)
+            store.add(block)
+            parent = block.digest
+        with pytest.raises(ProtocolViolation, match="fork"):
+            for block in evil:
+                chain.notarize(block.slot, block.digest)
+
+    def test_genesis_is_notarized_at_slot_zero(self):
+        chain = ChainState(BlockStore())
+        assert chain.is_notarized(0, GENESIS_DIGEST)
+        assert not chain.is_notarized(0, "other")
+
+
+class TestMultiShotGoodCase:
+    def test_one_block_per_delay(self):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=18)
+        sim = Simulation(SynchronousDelays(1.0), trace_enabled=True)
+        for i in range(4):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=40)
+        events = sim.trace.events(TraceKind.FINALIZE, node=0)
+        times = [e.time for e in events]
+        assert times[0] == 5.0
+        assert all(b - a == 1.0 for a, b in zip(times, times[1:]))
+
+    def test_all_nodes_finalize_everything_finalizable(self):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=15)
+        sim = Simulation(SynchronousDelays(1.0))
+        for i in range(4):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=50)
+        for i in range(4):
+            assert len(sim.nodes[i].finalized_chain) == 12  # 15 - 3 tail
+        assert_chains_consistent(sim, [0, 1, 2, 3])
+
+    def test_chain_links_are_intact(self):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=10)
+        sim = Simulation(SynchronousDelays(1.0))
+        for i in range(4):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=40)
+        chain = sim.nodes[0].finalized_chain
+        parent = GENESIS_DIGEST
+        for slot, block in enumerate(chain, start=1):
+            assert block.slot == slot
+            assert block.parent == parent
+            parent = block.digest
+
+    def test_seven_node_pipeline(self):
+        config = MultiShotConfig(base=ProtocolConfig.create(7), max_slots=12)
+        sim = Simulation(SynchronousDelays(1.0))
+        for i in range(7):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=40)
+        assert len(sim.nodes[0].finalized_chain) == 9
+        assert_chains_consistent(sim, list(range(7)))
+
+    def test_state_pruning_bounds_memory(self):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=40)
+        sim = Simulation(SynchronousDelays(1.0))
+        for i in range(4):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=80)
+        node = sim.nodes[0]
+        assert len(node.finalized_chain) == 37
+        # Per-slot working state far behind the tip was pruned.
+        assert len(node.slots) <= 40 - 37 + 8 + 4
+
+
+class TestMultiShotViewChange:
+    def test_crashed_slot_leader_recovery(self):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=12)
+        policy = TargetedDropPolicy(
+            SynchronousDelays(1.0), silence_nodes([3]), end=25.0
+        )
+        sim = Simulation(policy)
+        for i in range(4):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=200)
+        for i in range(4):
+            assert len(sim.nodes[i].finalized_chain) == 9
+        assert_chains_consistent(sim, [0, 1, 2, 3])
+
+    def test_permanently_crashed_node_still_progresses(self):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=12)
+        policy = TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([3]))
+        sim = Simulation(policy)
+        for i in range(4):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=300)
+        for i in range(3):
+            assert len(sim.nodes[i].finalized_chain) == 9
+        assert_chains_consistent(sim, [0, 1, 2])
+
+    def test_asynchrony_then_multishot_consistency(self):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=10)
+        for seed in range(6):
+            policy = PartialSynchronyPolicy(
+                gst=20.0, delta=1.0, loss_before_gst=0.6, seed=seed
+            )
+            sim = Simulation(policy)
+            for i in range(4):
+                sim.add_node(MultiShotNode(i, config))
+            sim.run(until=600)
+            assert_chains_consistent(sim, [0, 1, 2, 3])
+            heights = [len(sim.nodes[i].finalized_chain) for i in range(4)]
+            assert max(heights) >= 5, f"seed {seed}: no progress after GST {heights}"
+
+    def test_unstarted_slots_default_to_view_zero(self):
+        """Figure 3's slot-4 behaviour: slots first started after a view
+        change still begin at view 0."""
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=12)
+        policy = TargetedDropPolicy(
+            SynchronousDelays(1.0), silence_nodes([3]), end=25.0
+        )
+        sim = Simulation(policy, trace_enabled=True)
+        for i in range(4):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=200)
+        view0_notarizations = {
+            int(e.get("slot"))
+            for e in sim.trace.events(TraceKind.NOTARIZE, node=0)
+            if e.get("view") == 0
+        }
+        # Slots beyond the aborted window were notarized at view 0.
+        assert any(slot > 5 for slot in view0_notarizations)
+
+    def test_finalize_callback_invoked_in_order(self):
+        received: list[int] = []
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=8)
+        sim = Simulation(SynchronousDelays(1.0))
+        sim.add_node(
+            MultiShotNode(0, config, on_finalize=lambda b: received.append(b.slot))
+        )
+        for i in range(1, 4):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=30)
+        assert received == sorted(received)
+        assert received[0] == 1

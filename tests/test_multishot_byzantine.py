@@ -1,0 +1,184 @@
+"""Byzantine behaviour in the multi-shot (pipelined) protocol.
+
+Single-shot Byzantine coverage lives in test_byzantine.py; these
+scenarios attack the chain layer specifically: equivocating *block*
+proposals (two blocks for one slot), vote equivocation across forks,
+and forged per-slot suggest/proof histories during slot view changes.
+The asserted property is Definition 2 consistency: correct nodes'
+finalized chains never fork, whatever the adversary does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig
+from repro.multishot import (
+    Block,
+    GENESIS_DIGEST,
+    MSProposal,
+    MSViewChange,
+    MSVote,
+    MultiShotConfig,
+    MultiShotNode,
+)
+from repro.quorums.system import NodeId
+from repro.sim import (
+    NodeContext,
+    SimNode,
+    Simulation,
+    SynchronousDelays,
+    UniformRandomDelays,
+)
+
+
+def assert_consistent(sim: Simulation, node_ids: list[int]) -> list[str]:
+    chains = [[b.digest for b in sim.nodes[i].finalized_chain] for i in node_ids]
+    reference = max(chains, key=len)
+    for chain in chains:
+        assert reference[: len(chain)] == chain, "finalized chains forked"
+    return reference
+
+
+class EquivocatingBlockProposer(SimNode):
+    """When it would lead a slot, sends *different blocks* to each half
+    of the network, and echoes every vote it sees for both forks."""
+
+    def __init__(self, node_id: NodeId, config: MultiShotConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self._ctx: NodeContext | None = None
+        self._proposed: set[tuple[int, int]] = set()
+        self._parents: dict[int, str] = {0: GENESIS_DIGEST}
+
+    def _halves(self) -> tuple[list[NodeId], list[NodeId]]:
+        ids = self.config.base.node_ids
+        return ids[: len(ids) // 2], ids[len(ids) // 2:]
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+        self._maybe_equivocate(1, 0, GENESIS_DIGEST)
+
+    def _maybe_equivocate(self, slot: int, view: int, parent: str) -> None:
+        if self._ctx is None or (slot, view) in self._proposed:
+            return
+        if self.config.leader_of(slot, view) != self.node_id:
+            return
+        self._proposed.add((slot, view))
+        fork_a = Block.create(slot, parent, f"fork-A-{slot}-{view}")
+        fork_b = Block.create(slot, parent, f"fork-B-{slot}-{view}")
+        half_a, half_b = self._halves()
+        for dst in half_a:
+            self._ctx.send(dst, MSProposal(slot, view, fork_a))
+        for dst in half_b:
+            self._ctx.send(dst, MSProposal(slot, view, fork_b))
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        if self._ctx is None:
+            return
+        if isinstance(message, MSProposal):
+            # Track lineage so later equivocations extend something real.
+            self._parents[message.slot] = message.block.digest
+            self._maybe_equivocate(
+                message.slot + 1, message.view, message.block.digest
+            )
+        elif isinstance(message, MSVote):
+            # Double-vote: echo the vote back to everyone (it is for
+            # whichever fork the sender saw; we endorse both).
+            self._ctx.broadcast(MSVote(message.slot, message.view, message.digest))
+        elif isinstance(message, MSViewChange):
+            self._ctx.broadcast(message)
+            parent = self._parents.get(message.slot - 1, GENESIS_DIGEST)
+            self._maybe_equivocate(message.slot, message.view, parent)
+
+
+class TestBlockEquivocation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_forked_proposals_never_fork_finalized_chains(self, seed):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=10)
+        sim = Simulation(UniformRandomDelays(0.3, 1.0, seed=seed))
+        # The equivocator leads slots where (slot + view) % 4 == 3.
+        sim.add_node(EquivocatingBlockProposer(3, config))
+        for i in range(3):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=400)
+        reference = assert_consistent(sim, [0, 1, 2])
+        # Progress despite the equivocator: the honest slots still chain.
+        assert len(reference) >= 4
+
+    def test_synchronous_split_cannot_notarize_both_forks(self):
+        """With a clean 2/2 split of a 4-node system, neither fork can
+        gather the 3-vote quorum from honest nodes alone, so slot 3
+        (the equivocator's) only notarizes via a view-changed retry."""
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=8)
+        sim = Simulation(SynchronousDelays(1.0), trace_enabled=True)
+        sim.add_node(EquivocatingBlockProposer(3, config))
+        for i in range(3):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=300)
+        reference = assert_consistent(sim, [0, 1, 2])
+        assert len(reference) >= 4
+        # No two different digests finalized for any slot (stronger
+        # restatement of consistency, per-slot).
+        for i in (0, 1, 2):
+            by_slot: dict[int, str] = {}
+            for block in sim.nodes[i].finalized_chain:
+                assert by_slot.setdefault(block.slot, block.digest) == block.digest
+
+
+class ChainChaosMonkey(SimNode):
+    """Random multi-shot havoc: bogus votes for random digests/views,
+    spurious view-change messages, and malformed proposals."""
+
+    def __init__(self, node_id: NodeId, config: MultiShotConfig, seed: int) -> None:
+        import random
+
+        self.node_id = node_id
+        self.config = config
+        self._rng = random.Random(seed)
+        self._ctx: NodeContext | None = None
+        self._digests: list[str] = [GENESIS_DIGEST]
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+        ctx.set_timer(1.0, self._tick)
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        if isinstance(message, MSProposal):
+            self._digests.append(message.block.digest)
+
+    def _tick(self) -> None:
+        if self._ctx is None or self._ctx.now > 120:
+            return
+        rng = self._rng
+        for _ in range(4):
+            kind = rng.randrange(3)
+            slot = rng.randint(1, 10)
+            view = rng.randint(0, 2)
+            if kind == 0:
+                self._ctx.send(
+                    rng.choice(self.config.base.node_ids),
+                    MSVote(slot, view, rng.choice(self._digests)),
+                )
+            elif kind == 1:
+                self._ctx.broadcast(MSViewChange(slot, max(view, 1)))
+            else:
+                bogus = Block.create(slot, rng.choice(self._digests), ("junk", slot))
+                self._ctx.send(
+                    rng.choice(self.config.base.node_ids),
+                    MSProposal(slot, view, bogus),
+                )
+        self._ctx.set_timer(1.0, self._tick)
+
+
+class TestChainChaos:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chain_consistency_under_havoc(self, seed):
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=10)
+        sim = Simulation(UniformRandomDelays(0.3, 1.0, seed=seed))
+        sim.add_node(ChainChaosMonkey(3, config, seed=seed))
+        for i in range(3):
+            sim.add_node(MultiShotNode(i, config))
+        sim.run(until=400)
+        reference = assert_consistent(sim, [0, 1, 2])
+        assert len(reference) >= 3, "honest chain made no progress under havoc"

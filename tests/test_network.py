@@ -1,0 +1,143 @@
+"""Unit tests for the network substrate and delay policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics import MessageMetrics
+from repro.sim import (
+    EventScheduler,
+    Network,
+    PartialSynchronyPolicy,
+    SynchronousDelays,
+    UniformRandomDelays,
+)
+
+
+def make_network(policy) -> tuple[EventScheduler, Network, dict[int, list]]:
+    sched = EventScheduler()
+    net = Network(sched, policy, metrics=MessageMetrics())
+    inboxes: dict[int, list] = {}
+    for node in range(3):
+        inboxes[node] = []
+        net.register(node, lambda s, m, n=node: inboxes[n].append((s, m)))
+    return sched, net, inboxes
+
+
+def test_synchronous_delivery_takes_exactly_delta():
+    sched, net, inboxes = make_network(SynchronousDelays(2.0))
+    net.send(0, 1, "hello")
+    sched.run()
+    assert sched.now == 2.0
+    assert inboxes[1] == [(0, "hello")]
+
+
+def test_broadcast_reaches_everyone_including_sender():
+    sched, net, inboxes = make_network(SynchronousDelays(1.0))
+    net.broadcast(0, "ping")
+    sched.run()
+    for node in range(3):
+        assert inboxes[node] == [(0, "ping")]
+
+
+def test_sender_identity_is_truthful():
+    """Channels are authenticated: the delivery callback sees the true
+    source, not anything the message claims."""
+    sched, net, inboxes = make_network(SynchronousDelays(1.0))
+    net.send(2, 0, {"claims_to_be": 1})
+    sched.run()
+    (sender, _message), = inboxes[0]
+    assert sender == 2
+
+
+def test_unknown_destination_rejected():
+    sched, net, _ = make_network(SynchronousDelays(1.0))
+    with pytest.raises(SimulationError):
+        net.send(0, 42, "x")
+
+
+def test_duplicate_registration_rejected():
+    sched, net, _ = make_network(SynchronousDelays(1.0))
+    with pytest.raises(SimulationError):
+        net.register(0, lambda s, m: None)
+
+
+def test_metrics_count_sends_and_bytes():
+    sched, net, _ = make_network(SynchronousDelays(1.0))
+    net.broadcast(1, "abcdef")
+    sched.run()
+    metrics = net.metrics
+    assert metrics.sent_count[1] == 3
+    assert metrics.total_messages_sent == 3
+    assert metrics.bytes_sent_by_node[1] == 3 * 6  # len("abcdef") per copy
+
+
+def test_uniform_delays_within_bounds_and_deterministic():
+    policy_a = UniformRandomDelays(0.5, 2.0, seed=7)
+    policy_b = UniformRandomDelays(0.5, 2.0, seed=7)
+    delays_a = [policy_a.delay(0.0, 0, 1, None) for _ in range(50)]
+    delays_b = [policy_b.delay(0.0, 0, 1, None) for _ in range(50)]
+    assert delays_a == delays_b
+    assert all(0.5 <= d <= 2.0 for d in delays_a)
+
+
+def test_uniform_delays_validation():
+    with pytest.raises(ConfigurationError):
+        UniformRandomDelays(2.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        UniformRandomDelays(0.0, 1.0)
+
+
+class TestPartialSynchrony:
+    def test_post_gst_messages_bounded_by_delta(self):
+        policy = PartialSynchronyPolicy(gst=10.0, delta=1.5, seed=1)
+        for t in (10.0, 11.0, 100.0):
+            assert policy.delay(t, 0, 1, None) == 1.5
+
+    def test_post_gst_delta_min_range(self):
+        policy = PartialSynchronyPolicy(gst=0.0, delta=2.0, delta_min=0.5, seed=3)
+        delays = [policy.delay(1.0, 0, 1, None) for _ in range(50)]
+        assert all(0.5 <= d <= 2.0 for d in delays)
+
+    def test_pre_gst_messages_may_be_lost(self):
+        policy = PartialSynchronyPolicy(gst=100.0, delta=1.0, loss_before_gst=1.0, seed=2)
+        assert policy.delay(0.0, 0, 1, None) is None
+
+    def test_pre_gst_survivors_defer_to_gst(self):
+        policy = PartialSynchronyPolicy(
+            gst=50.0, delta=1.0, loss_before_gst=0.0, seed=4
+        )
+        for _ in range(20):
+            delay = policy.delay(0.0, 0, 1, None)
+            assert delay is not None
+            assert 0.0 + delay >= 50.0  # never delivered before GST
+
+    def test_zero_loss_no_defer_keeps_raw_delays(self):
+        policy = PartialSynchronyPolicy(
+            gst=50.0, delta=1.0, loss_before_gst=0.0,
+            max_delay_before_gst=5.0, defer_to_gst=False, seed=5,
+        )
+        delays = [policy.delay(0.0, 0, 1, None) for _ in range(20)]
+        assert all(d is not None and d <= 5.0 for d in delays)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartialSynchronyPolicy(gst=0.0, delta=0.0)
+        with pytest.raises(ConfigurationError):
+            PartialSynchronyPolicy(gst=0.0, delta=1.0, delta_min=2.0)
+        with pytest.raises(ConfigurationError):
+            PartialSynchronyPolicy(gst=0.0, delta=1.0, loss_before_gst=1.5)
+
+
+def test_drop_recorded_in_metrics():
+    policy = PartialSynchronyPolicy(gst=100.0, delta=1.0, loss_before_gst=1.0, seed=0)
+    sched = EventScheduler()
+    net = Network(sched, policy)
+    received = []
+    net.register(0, lambda s, m: received.append(m))
+    net.register(1, lambda s, m: received.append(m))
+    net.send(0, 1, "lost")
+    sched.run()
+    assert received == []
+    assert net.metrics.dropped_count[0] == 1

@@ -1,0 +1,100 @@
+"""Tests for hash-priority leader nomination (FBA future-work hook)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig, TetraBFTNode
+from repro.errors import ConfigurationError
+from repro.quorums.nomination import (
+    NominationRound,
+    PriorityLeaderElection,
+    leader_fn_for,
+    priority,
+)
+from repro.sim import Simulation, SynchronousDelays
+from tests.conftest import assert_agreement
+
+
+class TestPriority:
+    def test_deterministic(self):
+        assert priority(3, 1) == priority(3, 1)
+
+    def test_varies_with_inputs(self):
+        values = {priority(v, n) for v in range(5) for n in range(5)}
+        assert len(values) == 25  # 64-bit hashes: collisions ~impossible
+
+    def test_seed_separates_deployments(self):
+        assert priority(0, 0, b"chain-a") != priority(0, 0, b"chain-b")
+
+
+class TestElection:
+    def test_unique_leader_per_view(self):
+        election = PriorityLeaderElection((0, 1, 2, 3))
+        for view in range(50):
+            assert election.leader_of(view) in (0, 1, 2, 3)
+
+    def test_all_participants_agree(self):
+        a = PriorityLeaderElection((0, 1, 2, 3))
+        b = PriorityLeaderElection((0, 1, 2, 3))
+        assert a.schedule(100) == b.schedule(100)
+
+    def test_rotation_is_not_round_robin(self):
+        election = PriorityLeaderElection((0, 1, 2, 3))
+        schedule = election.schedule(40)
+        round_robin = [v % 4 for v in range(40)]
+        assert schedule != round_robin
+
+    def test_long_run_fairness(self):
+        election = PriorityLeaderElection((0, 1, 2, 3))
+        shares = election.fairness(4000)
+        for node, share in shares.items():
+            assert 0.15 < share < 0.35, f"node {node} leads {share:.0%} of views"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriorityLeaderElection(())
+        with pytest.raises(ConfigurationError):
+            PriorityLeaderElection((0, 0, 1))
+
+    def test_consensus_runs_under_nominated_leaders(self):
+        """TetraBFT with hash-priority election instead of round-robin."""
+        config = ProtocolConfig(
+            quorum_system=ProtocolConfig.create(4).quorum_system,
+            leader_fn=leader_fn_for(range(4)),
+        )
+        sim = Simulation(SynchronousDelays(1.0))
+        for i in range(4):
+            sim.add_node(TetraBFTNode(i, config, initial_value=f"val-{i}"))
+        sim.run_until_all_decided(until=100)
+        value = assert_agreement(sim, [0, 1, 2, 3])
+        leader0 = config.leader_of(0)
+        assert value == f"val-{leader0}"
+        assert sim.metrics.latency.max_decision_time() == 5.0
+
+
+class TestNominationRound:
+    def test_convergence_with_shared_candidates(self):
+        round_ = NominationRound(view=7, blocking_size=2)
+        for participant in range(4):
+            choice = round_.nominate(participant, [0, 1, 2, 3])
+        assert round_.confirmed_leader() == choice
+
+    def test_no_confirmation_below_blocking(self):
+        round_ = NominationRound(view=7, blocking_size=3)
+        round_.nominate(0, [0, 1])
+        assert round_.confirmed_leader() is None
+
+    def test_divergent_candidate_views_may_still_confirm(self):
+        """Participants with different candidate subsets: confirmation
+        happens once a blocking set's top choices coincide."""
+        round_ = NominationRound(view=3, blocking_size=2)
+        round_.nominate(0, [0, 1, 2, 3])
+        round_.nominate(1, [0, 1, 2, 3])
+        round_.nominate(2, [2, 3])
+        assert round_.confirmed_leader() is not None
+
+    def test_empty_candidates_rejected(self):
+        round_ = NominationRound(view=0, blocking_size=2)
+        with pytest.raises(ConfigurationError):
+            round_.nominate(0, [])

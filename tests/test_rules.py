@@ -1,0 +1,266 @@
+"""Unit tests for Rules 1–4 / Algorithms 1, 4, 5 (repro.core.rules).
+
+These construct suggest/proof message sets by hand and check the
+verdicts against the paper's prose, including the adversarial cases
+the safety proof turns on (a lying minority must never flip a verdict).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    EMPTY_VOTE,
+    GENESIS_VIEW,
+    Proof,
+    Suggest,
+    VoteRecord,
+)
+from repro.core.rules import (
+    claims_safe,
+    find_safe_value,
+    proof_claims_safe,
+    proposal_is_safe,
+    suggest_claims_safe,
+)
+from repro.quorums import ThresholdQuorumSystem
+
+QS4 = ThresholdQuorumSystem.for_nodes(4)
+
+
+def fresh_suggest(view: int) -> Suggest:
+    return Suggest(view=view)
+
+
+def fresh_proof(view: int) -> Proof:
+    return Proof(view=view)
+
+
+class TestClaimsSafe:
+    def test_view_zero_always_safe(self):
+        assert claims_safe(EMPTY_VOTE, EMPTY_VOTE, GENESIS_VIEW, "anything")
+
+    def test_highest_vote_certifies_its_value(self):
+        vote = VoteRecord(3, "a")
+        assert claims_safe(vote, EMPTY_VOTE, 2, "a")
+        assert claims_safe(vote, EMPTY_VOTE, 3, "a")
+        assert not claims_safe(vote, EMPTY_VOTE, 4, "a")
+
+    def test_highest_vote_does_not_certify_other_values(self):
+        vote = VoteRecord(3, "a")
+        assert not claims_safe(vote, EMPTY_VOTE, 2, "b")
+
+    def test_prev_vote_certifies_any_value(self):
+        """Rule 2/4 item 3: a second-highest (different-value) vote at
+        ≥ v' proves two certified values exist above v', so any value
+        is claimable."""
+        vote = VoteRecord(5, "a")
+        prev = VoteRecord(3, "b")
+        assert claims_safe(vote, prev, 3, "zebra")
+        assert claims_safe(vote, prev, 2, "b")
+        assert not claims_safe(vote, prev, 4, "zebra")
+        assert claims_safe(vote, prev, 4, "a")  # via the highest vote
+
+    def test_empty_history_claims_nothing_above_zero(self):
+        assert not claims_safe(EMPTY_VOTE, EMPTY_VOTE, 1, "a")
+
+    def test_suggest_and_proof_wrappers(self):
+        suggest = Suggest(view=4, vote2=VoteRecord(2, "a"))
+        assert suggest_claims_safe(suggest, 2, "a")
+        assert not suggest_claims_safe(suggest, 3, "a")
+        proof = Proof(view=4, vote1=VoteRecord(2, "a"))
+        assert proof_claims_safe(proof, 1, "a")
+        assert not proof_claims_safe(proof, 1, "b")
+
+
+class TestFindSafeValue:
+    def test_view_zero_everything_safe(self):
+        assert find_safe_value({}, GENESIS_VIEW, QS4, "init") == "init"
+
+    def test_needs_a_quorum_of_suggests(self):
+        suggests = {0: fresh_suggest(1), 1: fresh_suggest(1)}
+        assert find_safe_value(suggests, 1, QS4, "init") is None
+
+    def test_rule1_2a_no_vote3_anywhere(self):
+        suggests = {i: fresh_suggest(1) for i in range(3)}
+        assert find_safe_value(suggests, 1, QS4, "init") == "init"
+
+    def test_rule1_2b_forced_value(self):
+        """A reported vote-3 for 'a' at view 0, with a blocking set
+        claiming 'a' safe there: the leader must pick 'a'."""
+        suggests = {
+            0: Suggest(view=1, vote2=VoteRecord(0, "a"), vote3=VoteRecord(0, "a")),
+            1: Suggest(view=1, vote2=VoteRecord(0, "a")),
+            2: fresh_suggest(1),
+        }
+        assert find_safe_value(suggests, 1, QS4, "init") == "a"
+
+    def test_rule1_anchor_at_zero_claims_trivially(self):
+        """vote-3 at view 0 with v' = 0: Rule 2 item 1 lets everyone
+        claim, so the value is safe even with empty vote-2 histories."""
+        suggests = {
+            0: Suggest(view=1, vote3=VoteRecord(0, "a")),
+            1: fresh_suggest(1),
+            2: fresh_suggest(1),
+        }
+        assert find_safe_value(suggests, 1, QS4, "init") == "a"
+
+    def test_higher_vote3_blocks_lower_anchor(self):
+        """Rule 1 item 2(b)i: a member's vote-3 above v' disqualifies
+        that anchor; with view-2 suggests reporting vote-3 at 1 for
+        'b', the anchor must be view 1 and the value 'b'."""
+        suggests = {
+            0: Suggest(view=2, vote2=VoteRecord(1, "b"), vote3=VoteRecord(1, "b")),
+            1: Suggest(view=2, vote2=VoteRecord(1, "b"), vote3=VoteRecord(0, "a")),
+            2: Suggest(view=2, vote2=VoteRecord(1, "b")),
+        }
+        assert find_safe_value(suggests, 2, QS4, "init") == "b"
+
+    def test_conflicting_vote3_at_anchor_blocks_verdict(self):
+        """Two different vote-3 values at the same anchor view make a
+        quorum impossible for either value at that anchor (and the
+        blocking evidence only reaches that view): no verdict."""
+        suggests = {
+            0: Suggest(view=1, vote2=VoteRecord(0, "a"), vote3=VoteRecord(0, "a")),
+            1: Suggest(view=1, vote2=VoteRecord(0, "b"), vote3=VoteRecord(0, "b")),
+            2: Suggest(view=1, vote2=VoteRecord(0, "a"), vote3=VoteRecord(0, "a")),
+            3: Suggest(view=1, vote2=VoteRecord(0, "b"), vote3=VoteRecord(0, "b")),
+        }
+        # Anchor 0, value 'a': quorum needs vote3.view < 0 or == 0 with
+        # value 'a' — nodes 1 and 3 fail it; same for 'b'.  v' = 0
+        # claims are trivial but the quorum condition cannot be met.
+        assert find_safe_value(suggests, 1, QS4, "init") is None
+
+    def test_single_liar_cannot_force_unsafe_value(self):
+        """One fabricated suggest claiming 'poison' everywhere is below
+        the blocking threshold once the honest quorum's vote-3 reports
+        pin the anchor: the leader never returns 'poison'."""
+        honest_value = "a"
+        suggests = {
+            0: Suggest(view=2, vote2=VoteRecord(1, honest_value), vote3=VoteRecord(1, honest_value)),
+            1: Suggest(view=2, vote2=VoteRecord(1, honest_value), vote3=VoteRecord(1, honest_value)),
+            2: Suggest(view=2, vote2=VoteRecord(1, honest_value), vote3=VoteRecord(1, honest_value)),
+            3: Suggest(view=2, vote2=VoteRecord(1, "poison"), vote3=VoteRecord(1, "poison")),
+        }
+        assert find_safe_value(suggests, 2, QS4, "init") == honest_value
+
+    def test_returns_default_when_histories_stale(self):
+        """All vote-3s far in the past with fresh vote-2 coverage: any
+        value is safe, so the leader proposes its own."""
+        suggests = {
+            i: Suggest(view=5, vote2=VoteRecord(4, "x"), vote3=EMPTY_VOTE)
+            for i in range(3)
+        }
+        assert find_safe_value(suggests, 5, QS4, "mine") == "mine"
+
+
+class TestProposalIsSafe:
+    def test_view_zero_trivially_safe(self):
+        assert proposal_is_safe({}, GENESIS_VIEW, "anything", QS4)
+
+    def test_needs_quorum_of_proofs(self):
+        proofs = {0: fresh_proof(1)}
+        assert not proposal_is_safe(proofs, 1, "a", QS4)
+
+    def test_rule3_2a_no_vote4(self):
+        proofs = {i: fresh_proof(1) for i in range(3)}
+        assert proposal_is_safe(proofs, 1, "whatever", QS4)
+
+    def test_rule3_forced_value_accepted(self):
+        proofs = {
+            0: Proof(view=1, vote1=VoteRecord(0, "a"), vote4=VoteRecord(0, "a")),
+            1: Proof(view=1, vote1=VoteRecord(0, "a")),
+            2: fresh_proof(1),
+        }
+        assert proposal_is_safe(proofs, 1, "a", QS4)
+
+    def test_rule3_conflicting_value_rejected(self):
+        """A quorum member's vote-4 for 'a' at the only viable anchor
+        forbids determining 'b' safe."""
+        proofs = {
+            0: Proof(view=1, vote1=VoteRecord(0, "a"), vote4=VoteRecord(0, "a")),
+            1: Proof(view=1, vote1=VoteRecord(0, "a"), vote4=VoteRecord(0, "a")),
+            2: Proof(view=1, vote1=VoteRecord(0, "a"), vote4=VoteRecord(0, "a")),
+        }
+        assert not proposal_is_safe(proofs, 1, "b", QS4)
+        assert proposal_is_safe(proofs, 1, "a", QS4)
+
+    def test_rule3_2a_subsumes_quorum_without_vote4(self):
+        """If any quorum reports never having voted phase 4, every value
+        is safe (Rule 3 item 2a) — sound because a decision quorum must
+        intersect this one in a truthful honest node."""
+        proofs = {
+            0: Proof(view=3, vote1=VoteRecord(1, "a"), vote4=VoteRecord(1, "a")),
+            1: Proof(view=3, vote1=VoteRecord(1, "a")),
+            2: Proof(view=3, vote1=VoteRecord(2, "b")),
+            3: Proof(view=3, vote1=VoteRecord(2, "b")),
+        }
+        # Nodes 1,2,3 report no vote-4: that is a quorum, so even a
+        # fresh value is safe.
+        assert proposal_is_safe(proofs, 3, "anything", QS4)
+
+    def test_rule3_iiiB_two_blocking_sets(self):
+        """Rule 3 item 2(b)iiiB: blocking sets certifying two *different*
+        values at ṽ < ṽ' prove no decision completed at or below ṽ, so
+        a proposal consistent with the vote-4 reports is safe even
+        without any direct claim for it."""
+        proofs = {
+            # vote-4s at view 1 for 'a' (so no-vote-4 set is not a quorum
+            # and item 2a cannot fire).
+            0: Proof(view=4, vote1=VoteRecord(3, "d"), vote4=VoteRecord(1, "a")),
+            1: Proof(view=4, vote1=VoteRecord(2, "b"), vote4=VoteRecord(1, "a")),
+            # Blocking set {1,2} claims 'b' safe at ṽ=2...
+            2: Proof(view=4, vote1=VoteRecord(2, "b")),
+            # ...and blocking set {0,3} claims 'd' safe at ṽ'=3.
+            3: Proof(view=4, vote1=VoteRecord(3, "d")),
+        }
+        # No blocking set claims 'a' directly above view 1 (iiiA fails
+        # above the vote-4 anchor), but the ('b'@2, 'd'@3) pair shows
+        # views 2 and 3 both certified fresh values: 'a' is safe.
+        assert proposal_is_safe(proofs, 4, "a", QS4)
+        # With the vote-4s moved up to the lower certified view, the
+        # anchor's 2(b)ii value condition pins proposals to 'b'.
+        pinned = {
+            0: Proof(view=4, vote1=VoteRecord(3, "d"), vote4=VoteRecord(2, "b")),
+            1: Proof(view=4, vote1=VoteRecord(2, "b"), vote4=VoteRecord(2, "b")),
+            2: Proof(view=4, vote1=VoteRecord(2, "b")),
+            3: Proof(view=4, vote1=VoteRecord(3, "d")),
+        }
+        assert proposal_is_safe(pinned, 4, "b", QS4)
+        assert not proposal_is_safe(pinned, 4, "a", QS4)
+
+    def test_liar_below_blocking_threshold_rejected(self):
+        """A single fabricated proof cannot make an unsafe value pass:
+        the blocking intersection requires f+1 concurring claims."""
+        proofs = {
+            0: Proof(view=2, vote1=VoteRecord(1, "a"), vote4=VoteRecord(1, "a")),
+            1: Proof(view=2, vote1=VoteRecord(1, "a"), vote4=VoteRecord(1, "a")),
+            2: Proof(view=2, vote1=VoteRecord(1, "a"), vote4=VoteRecord(1, "a")),
+            3: Proof(view=2, vote1=VoteRecord(1, "poison"), vote4=EMPTY_VOTE),
+        }
+        assert not proposal_is_safe(proofs, 2, "poison", QS4)
+        assert proposal_is_safe(proofs, 2, "a", QS4)
+
+
+class TestRulesOverFBA:
+    """The same rules run unchanged over a heterogeneous quorum system."""
+
+    def _fba(self):
+        from repro.quorums import FBAQuorumSystem, SliceConfig
+
+        return FBAQuorumSystem.from_slices(
+            [SliceConfig.threshold(i, range(4), k=2) for i in range(4)]
+        )
+
+    def test_find_safe_value_over_fba(self):
+        qs = self._fba()
+        suggests = {i: fresh_suggest(1) for i in range(3)}
+        assert find_safe_value(suggests, 1, qs, "init") == "init"
+
+    def test_proposal_safety_over_fba(self):
+        qs = self._fba()
+        proofs = {
+            0: Proof(view=1, vote1=VoteRecord(0, "a"), vote4=VoteRecord(0, "a")),
+            1: Proof(view=1, vote1=VoteRecord(0, "a")),
+            2: fresh_proof(1),
+        }
+        assert proposal_is_safe(proofs, 1, "a", qs)
+        assert not proposal_is_safe(proofs, 1, "b", qs)

@@ -1,0 +1,180 @@
+"""Tests for the SMR layer: mempool, KV store, and full replicas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig
+from repro.multishot import MultiShotConfig
+from repro.sim import (
+    PartialSynchronyPolicy,
+    Simulation,
+    SynchronousDelays,
+    TargetedDropPolicy,
+    silence_nodes,
+)
+from repro.smr import KVCommandError, KVStore, Mempool, Replica, Transaction
+
+
+class TestMempool:
+    def test_fifo_order(self):
+        pool = Mempool(max_batch=2)
+        for k in range(4):
+            pool.add(Transaction(f"t{k}", ("noop",)))
+        batch = pool.next_batch()
+        assert [t.txid for t in batch] == ["t0", "t1"]
+
+    def test_duplicates_rejected(self):
+        pool = Mempool()
+        assert pool.add(Transaction("t", ("noop",)))
+        assert not pool.add(Transaction("t", ("noop",)))
+        assert pool.pending_count == 1
+
+    def test_batch_does_not_remove(self):
+        pool = Mempool(max_batch=10)
+        pool.add(Transaction("t", ("noop",)))
+        pool.next_batch()
+        assert pool.pending_count == 1
+
+    def test_finalization_removes_and_blocks_resubmission(self):
+        pool = Mempool()
+        pool.add(Transaction("t", ("noop",)))
+        pool.mark_finalized(["t"])
+        assert pool.pending_count == 0
+        assert pool.is_finalized("t")
+        assert not pool.add(Transaction("t", ("noop",)))
+
+    def test_exclude_skips_in_flight(self):
+        pool = Mempool(max_batch=2)
+        for k in range(4):
+            pool.add(Transaction(f"t{k}", ("noop",)))
+        batch = pool.next_batch(exclude=frozenset({"t0", "t1"}))
+        assert [t.txid for t in batch] == ["t2", "t3"]
+
+
+class TestKVStore:
+    def test_set_get_del(self):
+        store = KVStore()
+        store.apply("1", ("set", "k", "v"))
+        assert store.get("k") == "v"
+        store.apply("2", ("del", "k"))
+        assert store.get("k") is None
+
+    def test_incr_arithmetic(self):
+        store = KVStore()
+        store.apply("1", ("incr", "c", 5))
+        store.apply("2", ("incr", "c", -2))
+        assert store.get("c") == 3
+
+    def test_incr_on_non_integer_rejected(self):
+        store = KVStore()
+        store.apply("1", ("set", "k", "text"))
+        with pytest.raises(KVCommandError):
+            store.apply("2", ("incr", "k", 1))
+
+    @pytest.mark.parametrize(
+        "bad_op",
+        [("set", "k"), ("del",), ("incr", "k", "NaN"), ("unknown",), "not-a-tuple", ()],
+    )
+    def test_malformed_commands_rejected(self, bad_op):
+        store = KVStore()
+        with pytest.raises(KVCommandError):
+            store.apply("1", bad_op)
+
+    def test_digest_covers_order(self):
+        a, b = KVStore(), KVStore()
+        a.apply("1", ("set", "k", 1))
+        a.apply("2", ("set", "k", 2))
+        b.apply("2", ("set", "k", 2))
+        b.apply("1", ("set", "k", 1))
+        assert a.state_digest() != b.state_digest()
+
+    def test_digest_equal_for_equal_histories(self):
+        a, b = KVStore(), KVStore()
+        for store in (a, b):
+            store.apply("1", ("set", "x", 1))
+            store.apply("2", ("incr", "x", 1))
+        assert a.state_digest() == b.state_digest()
+
+
+def run_replicas(
+    n: int = 4,
+    txns: int = 40,
+    batch: int = 5,
+    policy=None,
+    horizon: float = 80.0,
+    max_slots: int | None = None,
+) -> list[Replica]:
+    config = MultiShotConfig(
+        base=ProtocolConfig.create(n),
+        max_slots=max_slots if max_slots is not None else txns // batch + 10,
+    )
+    sim = Simulation(policy or SynchronousDelays(1.0))
+    replicas = [Replica(i, config, max_batch=batch) for i in range(n)]
+    for replica in replicas:
+        sim.add_node(replica)
+    for k in range(txns):
+        for replica in replicas:
+            replica.submit(Transaction(f"tx{k}", ("incr", f"key{k % 3}", 1)))
+    sim.run(until=horizon)
+    return replicas
+
+
+class TestReplicaIntegration:
+    def test_replicas_converge_to_identical_state(self):
+        replicas = run_replicas()
+        digests = {r.state_digest() for r in replicas}
+        assert len(digests) == 1
+
+    def test_all_transactions_eventually_execute(self):
+        replicas = run_replicas(txns=40, batch=5, horizon=100.0)
+        for replica in replicas:
+            assert replica.store.applied_count == 40
+
+    def test_no_transaction_executes_twice(self):
+        replicas = run_replicas()
+        for replica in replicas:
+            applied = replica.store.applied_txids
+            assert len(applied) == len(set(applied))
+
+    def test_execution_follows_chain_order(self):
+        replicas = run_replicas()
+        reference = replicas[0].store.applied_txids
+        for replica in replicas[1:]:
+            assert replica.store.applied_txids == reference
+
+    def test_liveness_through_leader_crash(self):
+        """Definition 2 liveness: transactions survive aborted blocks
+        (their batches are re-proposed after the view change)."""
+        policy = TargetedDropPolicy(
+            SynchronousDelays(1.0), silence_nodes([3]), end=25.0
+        )
+        replicas = run_replicas(policy=policy, horizon=200.0, txns=30, batch=5)
+        live = [r for r in replicas]
+        digests = {r.state_digest() for r in live}
+        assert len(digests) == 1
+        assert all(r.store.applied_count == 30 for r in live)
+
+    def test_submission_to_single_replica_insufficient_alone(self):
+        """A txn submitted only to a non-leader replica executes only
+        once that replica gets to lead a slot — eventually it does."""
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=16)
+        sim = Simulation(SynchronousDelays(1.0))
+        replicas = [Replica(i, config, max_batch=5) for i in range(4)]
+        for replica in replicas:
+            sim.add_node(replica)
+        replicas[2].submit(Transaction("solo", ("set", "who", 2)))
+        sim.run(until=60)
+        for replica in replicas:
+            assert replica.store.get("who") == 2
+
+    def test_consistency_under_asynchrony(self):
+        for seed in range(4):
+            policy = PartialSynchronyPolicy(
+                gst=15.0, delta=1.0, loss_before_gst=0.5, seed=seed
+            )
+            replicas = run_replicas(
+                policy=policy, horizon=400.0, txns=20, batch=5
+            )
+            digests = {r.state_digest() for r in replicas}
+            assert len(digests) == 1, f"seed {seed}: divergent state"

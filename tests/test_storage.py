@@ -1,0 +1,175 @@
+"""Unit and property tests for the constant persistent vote storage."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EMPTY_VOTE, Phase, VoteStorage
+from repro.errors import ProtocolViolation
+
+
+class TestVoteStorage:
+    def test_starts_empty(self):
+        storage = VoteStorage()
+        for phase in Phase:
+            assert storage.highest_vote(phase).is_empty
+        assert storage.prev_vote(Phase.VOTE1).is_empty
+        assert storage.prev_vote(Phase.VOTE2).is_empty
+
+    def test_highest_tracks_latest_vote(self):
+        storage = VoteStorage()
+        storage.record_vote(Phase.VOTE1, 3, "a")
+        record = storage.highest_vote(Phase.VOTE1)
+        assert (record.view, record.value) == (3, "a")
+
+    def test_prev_updates_on_value_change(self):
+        storage = VoteStorage()
+        storage.record_vote(Phase.VOTE2, 1, "a")
+        storage.record_vote(Phase.VOTE2, 2, "b")
+        assert storage.highest_vote(Phase.VOTE2).value == "b"
+        prev = storage.prev_vote(Phase.VOTE2)
+        assert (prev.view, prev.value) == (1, "a")
+
+    def test_prev_unchanged_on_same_value(self):
+        storage = VoteStorage()
+        storage.record_vote(Phase.VOTE2, 1, "a")
+        storage.record_vote(Phase.VOTE2, 2, "b")
+        storage.record_vote(Phase.VOTE2, 3, "b")
+        prev = storage.prev_vote(Phase.VOTE2)
+        assert (prev.view, prev.value) == (1, "a")
+
+    def test_prev_replaced_when_old_highest_differs(self):
+        # votes: (1,a) (2,b) (3,a) → prev must be (2,b), not (1,a).
+        storage = VoteStorage()
+        storage.record_vote(Phase.VOTE1, 1, "a")
+        storage.record_vote(Phase.VOTE1, 2, "b")
+        storage.record_vote(Phase.VOTE1, 3, "a")
+        prev = storage.prev_vote(Phase.VOTE1)
+        assert (prev.view, prev.value) == (2, "b")
+
+    def test_same_view_revote_allowed_for_equal_view(self):
+        storage = VoteStorage()
+        storage.record_vote(Phase.VOTE3, 2, "a")
+        storage.record_vote(Phase.VOTE3, 2, "a")
+        assert storage.highest_vote(Phase.VOTE3).view == 2
+
+    def test_decreasing_view_rejected(self):
+        storage = VoteStorage()
+        storage.record_vote(Phase.VOTE1, 5, "a")
+        with pytest.raises(ProtocolViolation):
+            storage.record_vote(Phase.VOTE1, 4, "b")
+
+    def test_no_prev_slot_for_phases_3_and_4(self):
+        storage = VoteStorage()
+        for phase in (Phase.VOTE3, Phase.VOTE4):
+            with pytest.raises(ProtocolViolation):
+                storage.prev_vote(phase)
+
+    def test_suggest_message_reflects_slots(self):
+        storage = VoteStorage()
+        storage.record_vote(Phase.VOTE2, 1, "a")
+        storage.record_vote(Phase.VOTE2, 4, "b")
+        storage.record_vote(Phase.VOTE3, 2, "a")
+        suggest = storage.make_suggest(view=5)
+        assert suggest.view == 5
+        assert (suggest.vote2.view, suggest.vote2.value) == (4, "b")
+        assert (suggest.prev_vote2.view, suggest.prev_vote2.value) == (1, "a")
+        assert (suggest.vote3.view, suggest.vote3.value) == (2, "a")
+
+    def test_proof_message_reflects_slots(self):
+        storage = VoteStorage()
+        storage.record_vote(Phase.VOTE1, 2, "x")
+        storage.record_vote(Phase.VOTE4, 1, "x")
+        proof = storage.make_proof(view=3)
+        assert (proof.vote1.view, proof.vote1.value) == (2, "x")
+        assert proof.prev_vote1 is EMPTY_VOTE or proof.prev_vote1.is_empty
+        assert (proof.vote4.view, proof.vote4.value) == (1, "x")
+
+    def test_size_is_constant(self):
+        storage = VoteStorage()
+        baseline = storage.size_bytes()
+        for view in range(100):
+            storage.record_vote(Phase.VOTE1, view, f"value-{view}")
+            storage.record_vote(Phase.VOTE2, view, f"value-{view}")
+        assert storage.size_bytes() == baseline
+
+    def test_snapshot_has_all_six_slots(self):
+        snapshot = VoteStorage().snapshot()
+        assert set(snapshot) == {
+            "highest_vote1", "highest_vote2", "highest_vote3", "highest_vote4",
+            "prev_vote1", "prev_vote2",
+        }
+
+
+# -- property tests: the invariants the paper's Lemma 1 relies on ------------------
+
+vote_sequences = st.lists(
+    st.tuples(st.integers(0, 8), st.sampled_from(["a", "b", "c"])),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _record_monotone(storage: VoteStorage, phase: Phase, seq):
+    """Record the subsequence with non-decreasing views (as a correct
+    node would produce) and return it."""
+    recorded = []
+    current = -1
+    for view, value in seq:
+        if view < current:
+            continue
+        storage.record_vote(phase, view, value)
+        recorded.append((view, value))
+        current = view
+    return recorded
+
+
+@given(seq=vote_sequences)
+@settings(max_examples=200)
+def test_highest_is_the_last_vote(seq):
+    storage = VoteStorage()
+    recorded = _record_monotone(storage, Phase.VOTE2, seq)
+    view, value = recorded[-1]
+    record = storage.highest_vote(Phase.VOTE2)
+    assert (record.view, record.value) == (view, value)
+
+
+@given(seq=vote_sequences)
+@settings(max_examples=200)
+def test_prev_is_highest_vote_with_different_value(seq):
+    """The second-highest slot equals the spec: the highest recorded
+    vote whose value differs from the current highest's."""
+    storage = VoteStorage()
+    recorded = _record_monotone(storage, Phase.VOTE2, seq)
+    highest_value = recorded[-1][1]
+    differing = [(v, val) for v, val in recorded if val != highest_value]
+    prev = storage.prev_vote(Phase.VOTE2)
+    if not differing:
+        assert prev.is_empty
+    else:
+        expected_view = max(v for v, _ in differing)
+        assert prev.view == expected_view
+        assert prev.value != highest_value
+
+
+@given(seq=vote_sequences)
+@settings(max_examples=100)
+def test_lemma1_claim_preservation(seq):
+    """Lemma 1's mechanism: after voting for `val` in view `v`, the
+    suggest/proof records always let the node claim `val` safe at any
+    view ≤ v (either the highest vote is still for val at ≥ v, or the
+    second-highest reaches ≥ v)."""
+    from repro.core.rules import claims_safe
+
+    storage = VoteStorage()
+    recorded = _record_monotone(storage, Phase.VOTE2, seq)
+    for view, value in recorded:
+        vote = storage.highest_vote(Phase.VOTE2)
+        prev = storage.prev_vote(Phase.VOTE2)
+        for v_prime in range(view + 1):
+            assert claims_safe(vote, prev, v_prime, value), (
+                f"cannot claim {value!r} safe at {v_prime} after voting "
+                f"for it at {view}; storage: {storage.snapshot()}"
+            )

@@ -1,0 +1,121 @@
+"""Unit tests for tracing and metric collectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import (
+    LatencyMetrics,
+    MessageMetrics,
+    StorageMetrics,
+    estimate_wire_size,
+)
+from repro.sim import Trace, TraceKind
+
+
+class TestTrace:
+    def test_record_and_filter_by_kind(self):
+        trace = Trace()
+        trace.record(1.0, 0, TraceKind.VOTE, phase=1)
+        trace.record(2.0, 1, TraceKind.DECIDE, value="v")
+        assert len(trace) == 2
+        votes = trace.events(TraceKind.VOTE)
+        assert len(votes) == 1
+        assert votes[0].get("phase") == 1
+
+    def test_filter_by_node_and_predicate(self):
+        trace = Trace()
+        for node in range(3):
+            trace.record(float(node), node, TraceKind.VOTE, phase=node)
+        assert len(trace.events(node=1)) == 1
+        late = trace.events(where=lambda e: e.time >= 1.0)
+        assert len(late) == 2
+
+    def test_first_returns_earliest_match(self):
+        trace = Trace()
+        trace.record(1.0, 0, TraceKind.DECIDE, value="a")
+        trace.record(2.0, 1, TraceKind.DECIDE, value="b")
+        first = trace.first(TraceKind.DECIDE)
+        assert first is not None and first.get("value") == "a"
+
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.record(1.0, 0, TraceKind.VOTE)
+        assert len(trace) == 0
+
+    def test_event_get_default(self):
+        trace = Trace()
+        trace.record(0.0, 0, TraceKind.CUSTOM, a=1)
+        event = trace.events()[0]
+        assert event.get("missing", "dflt") == "dflt"
+
+
+class TestMessageMetrics:
+    def test_send_accounting(self):
+        metrics = MessageMetrics()
+        metrics.record_send(0, "hello")
+        metrics.record_send(0, "bye")
+        metrics.record_send(1, "x")
+        assert metrics.sent_count[0] == 2
+        assert metrics.total_messages_sent == 3
+        assert metrics.bytes_sent_by_node[0] == 8
+        assert metrics.max_bytes_per_node() == 8
+        assert metrics.count_by_type["str"] == 3
+
+    def test_wire_size_protocol_hook(self):
+        class Sized:
+            def wire_size(self):
+                return 123
+
+        assert estimate_wire_size(Sized()) == 123
+
+    def test_wire_size_dataclass_recursion(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Inner:
+            a: int
+            b: str
+
+        assert estimate_wire_size(Inner(1, "xyz")) == 8 + 3
+
+    def test_wire_size_collections(self):
+        assert estimate_wire_size((1, 2, 3)) == 24
+        assert estimate_wire_size(None) == 1
+
+
+class TestLatencyMetrics:
+    def test_first_decision_wins(self):
+        metrics = LatencyMetrics()
+        metrics.record_decision(0, "a", 5.0)
+        metrics.record_decision(0, "a", 9.0)
+        assert metrics.decision_times[0] == 5.0
+
+    def test_all_decided_and_max(self):
+        metrics = LatencyMetrics()
+        metrics.record_decision(0, "a", 5.0)
+        assert not metrics.all_decided([0, 1])
+        metrics.record_decision(1, "a", 7.0)
+        assert metrics.all_decided([0, 1])
+        assert metrics.max_decision_time() == 7.0
+
+    def test_max_decision_time_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyMetrics().max_decision_time()
+
+    def test_view_entries_accumulate(self):
+        metrics = LatencyMetrics()
+        metrics.record_view_entry(0, 1, 10.0)
+        metrics.record_view_entry(0, 2, 20.0)
+        assert metrics.view_entry_times[0] == [(1, 10.0), (2, 20.0)]
+
+
+class TestStorageMetrics:
+    def test_max_per_node_and_global(self):
+        metrics = StorageMetrics()
+        metrics.record(0, 10)
+        metrics.record(0, 30)
+        metrics.record(1, 20)
+        assert metrics.max_storage(0) == 30
+        assert metrics.max_storage() == 30
+        assert metrics.max_storage(2) == 0

@@ -1,0 +1,185 @@
+"""Tests for the TLA+ spec port and the explicit-state checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, VerificationError
+from repro.verification import (
+    ModelConfig,
+    ModelState,
+    accepted,
+    check_agreement,
+    check_invariants,
+    check_liveness,
+    claims_safe_at,
+    decided_values,
+    explore,
+    shows_safe_at,
+    successors,
+)
+
+CFG = ModelConfig(n=4, f=1, num_values=2, max_round=1)
+
+
+def state_with(votes, rounds=None) -> ModelState:
+    rounds = rounds if rounds is not None else tuple(
+        max((vt[0] for vt in vs), default=-1) for vs in votes
+    )
+    return ModelState(rounds=tuple(rounds), votes=tuple(frozenset(v) for v in votes))
+
+
+class TestModelConfig:
+    def test_rejects_bad_resilience(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(n=3, f=1)
+
+    def test_honest_count(self):
+        assert CFG.honest == 3
+        assert CFG.quorum_size == 3
+        assert CFG.blocking_size == 2
+
+
+class TestPredicates:
+    def test_accepted_with_wildcard_credit(self):
+        # 2 honest votes + 1 Byzantine credit = quorum of 3.
+        state = state_with([{(0, 1, 0)}, {(0, 1, 0)}, set()])
+        assert accepted(state, CFG, value=0, rnd=0, phase=1)
+        state2 = state_with([{(0, 1, 0)}, set(), set()])
+        assert not accepted(state2, CFG, value=0, rnd=0, phase=1)
+
+    def test_accepted_without_credit_in_liveness_mode(self):
+        liveness_cfg = ModelConfig(
+            n=4, f=1, num_values=2, max_round=1, byz_support=False, good_round=1
+        )
+        state = state_with([{(0, 1, 0)}, {(0, 1, 0)}, set()])
+        assert not accepted(state, liveness_cfg, value=0, rnd=0, phase=1)
+
+    def test_claims_safe_at_round_zero(self):
+        assert claims_safe_at(frozenset(), value=0, rnd=1, r2=0, phase=1)
+
+    def test_claims_safe_via_matching_vote(self):
+        votes = frozenset({(1, 1, 0)})
+        assert claims_safe_at(votes, value=0, rnd=2, r2=1, phase=1)
+        assert not claims_safe_at(votes, value=1, rnd=2, r2=1, phase=1)
+
+    def test_claims_safe_via_two_differing_votes(self):
+        # Voted value 1 at round 1 then value 0 at round 2: the pair
+        # certifies any value at r2 ≤ 1 (TLA+ ClaimsSafeAt disjunct 2).
+        votes = frozenset({(1, 1, 1), (2, 1, 0)})
+        assert claims_safe_at(votes, value=1, rnd=3, r2=1, phase=1)
+        assert claims_safe_at(votes, value=0, rnd=3, r2=1, phase=1)
+
+    def test_shows_safe_at_round_zero(self):
+        state = ModelState.initial(CFG)
+        assert shows_safe_at(state, CFG, value=0, rnd=0, phase_a=4, phase_b=1)
+
+    def test_shows_safe_needs_members_in_round(self):
+        state = ModelState.initial(CFG)  # everyone still at round -1
+        assert not shows_safe_at(state, CFG, value=0, rnd=1, phase_a=4, phase_b=1)
+
+    def test_decided_needs_quorum_of_phase4(self):
+        state = state_with([{(0, 4, 1)}, {(0, 4, 1)}, set()])
+        assert decided_values(state, CFG) == {1}
+        state2 = state_with([{(0, 4, 1)}, set(), set()])
+        assert decided_values(state2, CFG) == set()
+
+
+class TestSuccessors:
+    def test_initial_state_offers_start_round_only(self):
+        state = ModelState.initial(CFG)
+        names = {a.name for a, _ in successors(state, CFG)}
+        assert names == {"StartRound"}
+
+    def test_vote1_enabled_after_start_round_zero(self):
+        state = ModelState(rounds=(0, -1, -1), votes=(frozenset(),) * 3)
+        actions = {a.name for a, _ in successors(state, CFG)}
+        assert "Vote1" in actions
+
+    def test_do_vote_blocks_double_voting(self):
+        state = state_with([{(0, 1, 0)}, set(), set()], rounds=(0, -1, -1))
+        vote1_actions = [
+            a for a, _ in successors(state, CFG)
+            if a.name == "Vote1" and a.process == 0 and a.round == 0
+        ]
+        assert vote1_actions == []  # both values blocked: (0,1) slot taken
+
+    def test_vote2_requires_accepted_phase1(self):
+        state = state_with([{(0, 1, 0)}, {(0, 1, 0)}, set()])
+        actions = {(a.name, a.process) for a, _ in successors(state, CFG)}
+        assert ("Vote2", 2) in actions  # 2 honest + 1 wildcard = quorum
+
+    def test_vote_moves_process_round_forward(self):
+        state = state_with([{(0, 1, 0)}, {(0, 1, 0)}, set()], rounds=(0, 0, -1))
+        for action, nxt in successors(state, CFG):
+            if action.name == "Vote2" and action.process == 2:
+                assert nxt.rounds[2] == action.round
+                break
+        else:
+            pytest.fail("Vote2 for process 2 not offered")
+
+
+class TestChecker:
+    def test_tiny_exhaustive_agreement(self):
+        result = check_agreement(ModelConfig(n=4, f=1, num_values=2, max_round=0))
+        assert result.ok and not result.truncated
+        assert result.states_explored > 50
+
+    def test_tiny_exhaustive_invariants(self):
+        result = check_invariants(ModelConfig(n=4, f=1, num_values=2, max_round=0))
+        assert result.ok
+
+    def test_violation_raises_with_trace(self):
+        def always_false(state, config):
+            return state.rounds[0] < 0  # fails after any StartRound(0, ·)
+
+        with pytest.raises(VerificationError) as excinfo:
+            explore(CFG, {"bogus": always_false})
+        assert excinfo.value.trace, "counterexample trace missing"
+        assert excinfo.value.trace[-1].name == "StartRound"
+
+    def test_truncation_reported(self):
+        result = explore(
+            ModelConfig(n=4, f=1, num_values=2, max_round=1),
+            {},
+            max_states=10,
+        )
+        assert result.truncated
+
+    def test_liveness_tiny(self):
+        result = check_liveness(
+            ModelConfig(
+                n=4, f=1, num_values=1, max_round=1, byz_support=False, good_round=1
+            )
+        )
+        assert result.ok
+        assert result.deadlocked_states > 0
+
+    def test_liveness_requires_good_round(self):
+        with pytest.raises(VerificationError):
+            check_liveness(ModelConfig(n=4, f=1, byz_support=False))
+        with pytest.raises(VerificationError):
+            check_liveness(ModelConfig(n=4, f=1, good_round=1))
+
+    def test_seven_node_tiny_bounds(self):
+        result = check_agreement(
+            ModelConfig(n=7, f=2, num_values=2, max_round=0), max_states=100_000
+        )
+        assert result.ok
+
+
+class TestSymmetryReduction:
+    def test_canonical_key_identifies_process_permutations(self):
+        a = state_with([{(0, 1, 0)}, set(), set()], rounds=(0, -1, -1))
+        b = state_with([set(), set(), {(0, 1, 0)}], rounds=(-1, -1, 0))
+        assert a.canonical_key(CFG) == b.canonical_key(CFG)
+
+    def test_canonical_key_identifies_value_permutations(self):
+        a = state_with([{(0, 1, 0)}, set(), set()], rounds=(0, -1, -1))
+        b = state_with([{(0, 1, 1)}, set(), set()], rounds=(0, -1, -1))
+        assert a.canonical_key(CFG) == b.canonical_key(CFG)
+
+    def test_canonical_key_distinguishes_real_differences(self):
+        a = state_with([{(0, 1, 0)}, set(), set()], rounds=(0, -1, -1))
+        b = state_with([{(0, 2, 0)}, set(), set()], rounds=(0, -1, -1))
+        assert a.canonical_key(CFG) != b.canonical_key(CFG)
