@@ -1,21 +1,41 @@
-"""Experiment A1 — communication-complexity scaling.
+"""Experiment A1 — communication-complexity and simulator-throughput scaling.
 
-The paper's Table 1 claims O(n²) communicated bits per view for
-TetraBFT and IT-HS versus O(n³) worst-case for unauthenticated PBFT's
-view change (each node sends O(n)-sized view-change messages to
-everyone).  We sweep n, force one view change per run, and fit the
-growth exponents of total bytes (expected: ≈2 for TetraBFT/IT-HS,
-≈3 for PBFT) and per-node bytes (≈1 vs ≈2).
+Two sweeps share this module:
+
+* **Communication scaling** (the paper's Table 1 claim): O(n²)
+  communicated bits per view for TetraBFT and IT-HS versus O(n³)
+  worst-case for unauthenticated PBFT's view change (each node sends
+  O(n)-sized view-change messages to everyone).  We sweep n, force one
+  view change per run, and fit the growth exponents of total bytes
+  (expected: ≈2 for TetraBFT/IT-HS, ≈3 for PBFT) and per-node bytes
+  (≈1 vs ≈2).
+
+* **Simulator throughput** (the scaling direction related work such as
+  *pod* measures at thousands of replicas): events per second of the
+  discrete-event core on full TetraBFT runs at n ∈ {4, 16, 64, 128},
+  across three network scenarios — ``sync`` (every link exactly Δ),
+  ``geo`` (a :class:`~repro.sim.GeoLatencyPolicy` region matrix with
+  seeded jitter, all links within Δ), and ``crash-recovery``
+  (a :class:`~repro.sim.CrashRecoveryPolicy` rolling-outage schedule
+  over a synchronous base).  Throughput runs poll the all-decided
+  predicate every ``stop_check_interval`` events (the predicate is an
+  O(n) scan, so per-event polling would dominate at n=128) and switch
+  off message byte accounting, isolating the event core itself.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.baselines import ITHotStuffNode, PBFTNode
 from repro.core import ProtocolConfig, TetraBFTNode
+from repro.eval.report import format_table
 from repro.eval.table1 import fit_growth_exponent
 from repro.sim import (
+    CrashRecoveryPolicy,
+    DelayPolicy,
+    GeoLatencyPolicy,
     Simulation,
     SynchronousDelays,
     TargetedDropPolicy,
@@ -49,6 +69,132 @@ _FACTORIES = {
 #: view-changing view (and per-node = total − 1).
 PAPER_TOTAL_EXPONENTS = {"tetrabft": 2.0, "it-hs": 2.0, "pbft": 3.0}
 
+#: The throughput sweep's n values; 128 must finish inside the default
+#: 2M-event budget (a full run there is on the order of 10⁵ events).
+THROUGHPUT_NS = (4, 16, 64, 128)
+
+THROUGHPUT_SCENARIOS = ("sync", "geo", "crash-recovery")
+
+_GEO_REGIONS = ("us-east", "us-west", "eu", "asia")
+
+#: One-way link latencies in Δ units, chosen so every link (plus
+#: jitter) stays within the known bound Δ=1: the geo scenario stresses
+#: heterogeneous quorum formation, not timeout behaviour.
+_GEO_LATENCY = {
+    ("us-east", "us-east"): 0.05,
+    ("us-west", "us-west"): 0.05,
+    ("eu", "eu"): 0.05,
+    ("asia", "asia"): 0.05,
+    ("us-east", "us-west"): 0.30,
+    ("us-east", "eu"): 0.40,
+    ("us-east", "asia"): 0.80,
+    ("us-west", "eu"): 0.60,
+    ("us-west", "asia"): 0.55,
+    ("eu", "asia"): 0.75,
+}
+
+
+def geo_policy(n: int, seed: int = 0) -> GeoLatencyPolicy:
+    """Round-robin the n nodes over four regions with realistic links."""
+    return GeoLatencyPolicy(
+        region_of={i: _GEO_REGIONS[i % len(_GEO_REGIONS)] for i in range(n)},
+        latency=_GEO_LATENCY,
+        default=0.8,
+        jitter=0.1,
+        delta_cap=1.0,
+        seed=seed,
+    )
+
+
+def scenario_policy(scenario: str, n: int, seed: int = 0) -> tuple[DelayPolicy, list[int]]:
+    """(policy, excluded node ids) for one throughput scenario."""
+    if scenario == "sync":
+        return SynchronousDelays(1.0), []
+    if scenario == "geo":
+        return geo_policy(n, seed=seed), []
+    if scenario == "crash-recovery":
+        # The highest-id node (never a low-view leader) suffers rolling
+        # outages; the rest decide without it, so it is excluded from
+        # the all-decided predicate.
+        faulty = n - 1
+        policy = CrashRecoveryPolicy.periodic(
+            SynchronousDelays(1.0),
+            node_ids=[faulty],
+            period=30.0,
+            outage=10.0,
+            horizon=400.0,
+        )
+        return policy, [faulty]
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+@dataclass
+class ThroughputRow:
+    scenario: str
+    n: int
+    events: int
+    wall_seconds: float
+    decided: bool
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.events / self.wall_seconds
+
+
+def measure_throughput(
+    scenario: str, n: int, stop_check_interval: int = 64
+) -> ThroughputRow:
+    """One full TetraBFT run at size n; returns the event-core rate."""
+    policy, excluded = scenario_policy(scenario, n)
+    config = ProtocolConfig.create(n)
+    sim = Simulation(policy)
+    sim.metrics.messages.enabled = False
+    for i in range(n):
+        sim.add_node(TetraBFTNode(i, config, f"val-{i}"))
+    targets = [i for i in range(n) if i not in excluded]
+    start = time.perf_counter()
+    sim.run_until_all_decided(
+        exclude=excluded,
+        until=400,
+        stop_check_interval=stop_check_interval,
+    )
+    wall = time.perf_counter() - start
+    return ThroughputRow(
+        scenario=scenario,
+        n=n,
+        events=sim.scheduler.events_fired,
+        wall_seconds=wall,
+        decided=sim.metrics.latency.all_decided(targets),
+    )
+
+
+def run_throughput(
+    ns: tuple[int, ...] = THROUGHPUT_NS,
+    scenarios: tuple[str, ...] = THROUGHPUT_SCENARIOS,
+) -> list[ThroughputRow]:
+    return [measure_throughput(scenario, n) for scenario in scenarios for n in ns]
+
+
+def format_throughput_report(rows: list[ThroughputRow]) -> str:
+    """The events-per-second figure the ROADMAP's perf trajectory tracks."""
+    return format_table(
+        [
+            {
+                "scenario": row.scenario,
+                "n": row.n,
+                "events": row.events,
+                "wall_s": row.wall_seconds,
+                "events/sec": row.events_per_sec,
+                "decided": row.decided,
+            }
+            for row in rows
+        ],
+        columns=["scenario", "n", "events", "wall_s", "events/sec", "decided"],
+        title="A1b — simulator throughput (TetraBFT, full runs)",
+    )
+
 
 def measure_one(protocol: str, n: int) -> tuple[int, int]:
     """(total bytes, max per-node bytes) for one forced view change."""
@@ -58,7 +204,7 @@ def measure_one(protocol: str, n: int) -> tuple[int, int]:
     sim = Simulation(policy)
     for i in range(n):
         sim.add_node(factory(i, config))
-    sim.run_until_all_decided(node_ids=list(range(1, n)), until=400)
+    sim.run_until_all_decided(exclude=[0], until=400)
     messages = sim.metrics.messages
     return messages.total_bytes_sent, messages.max_bytes_per_node()
 
@@ -91,6 +237,8 @@ def main() -> None:  # pragma: no cover - CLI entry
             f"(paper {expected:.0f})  per-node={row.per_node_exponent:.2f} "
             f"bytes@n={row.ns[-1]}: {row.total_bytes[-1]}"
         )
+    print()
+    print(format_throughput_report(run_throughput()))
 
 
 if __name__ == "__main__":  # pragma: no cover

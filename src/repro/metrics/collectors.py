@@ -54,7 +54,15 @@ def _generic_size(value: object) -> int:
 
 @dataclass
 class MessageMetrics:
-    """Message- and byte-count accounting for one simulation run."""
+    """Message- and byte-count accounting for one simulation run.
+
+    ``enabled`` is a cheap gate the network hot path consults before
+    each record call; pure-throughput runs flip it off to skip the
+    wire-size estimation entirely.  :meth:`record_broadcast` is the
+    batched form of :meth:`record_send` for n identical copies of one
+    message: the wire size is estimated once and multiplied, producing
+    counter totals identical to n individual ``record_send`` calls.
+    """
 
     sent_count: Counter = field(default_factory=Counter)
     delivered_count: Counter = field(default_factory=Counter)
@@ -62,6 +70,7 @@ class MessageMetrics:
     bytes_sent_by_node: Counter = field(default_factory=Counter)
     bytes_by_type: Counter = field(default_factory=Counter)
     count_by_type: Counter = field(default_factory=Counter)
+    enabled: bool = True
 
     def record_send(self, sender: int, message: object) -> None:
         size = estimate_wire_size(message)
@@ -70,6 +79,14 @@ class MessageMetrics:
         self.bytes_sent_by_node[sender] += size
         self.bytes_by_type[type_name] += size
         self.count_by_type[type_name] += 1
+
+    def record_broadcast(self, sender: int, message: object, copies: int) -> None:
+        size = estimate_wire_size(message)
+        type_name = type(message).__name__
+        self.sent_count[sender] += copies
+        self.bytes_sent_by_node[sender] += size * copies
+        self.bytes_by_type[type_name] += size * copies
+        self.count_by_type[type_name] += copies
 
     def record_delivery(self, sender: int) -> None:
         self.delivered_count[sender] += 1

@@ -1,6 +1,7 @@
 """Discrete-event simulation substrate (scheduler, network, adversaries)."""
 
 from repro.sim.adversary import (
+    CrashRecoveryPolicy,
     PartitionPolicy,
     ScriptedPolicy,
     SkewedDelays,
@@ -11,6 +12,7 @@ from repro.sim.adversary import (
 from repro.sim.events import EventHandle, EventScheduler
 from repro.sim.network import (
     DelayPolicy,
+    GeoLatencyPolicy,
     Network,
     PartialSynchronyPolicy,
     SynchronousDelays,
@@ -20,9 +22,11 @@ from repro.sim.runner import NodeContext, SimNode, Simulation
 from repro.sim.trace import Trace, TraceEvent, TraceKind
 
 __all__ = [
+    "CrashRecoveryPolicy",
     "DelayPolicy",
     "EventHandle",
     "EventScheduler",
+    "GeoLatencyPolicy",
     "Network",
     "NodeContext",
     "PartialSynchronyPolicy",

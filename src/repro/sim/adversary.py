@@ -12,7 +12,10 @@ tests and benches exercise exactly that power deterministically:
   the worst-case 2Δ view-entry skew the paper's timeout analysis
   assumes;
 * :class:`ScriptedPolicy` — fully scripted per-message fates for
-  regression tests that need exact schedules.
+  regression tests that need exact schedules;
+* :class:`CrashRecoveryPolicy` — nodes go down and come back on a
+  deterministic schedule; messages touching a down node are dropped.
+  Used by the scaling evaluation's churn scenario.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.sim.network import DelayPolicy
 
 MessagePredicate = Callable[[float, int, int, object], bool]
@@ -112,6 +116,83 @@ class SkewedDelays(DelayPolicy):
         del send_time, src, message
         chosen = self.delta_for.get(dst, self.delta)
         return min(chosen, self.delta)
+
+
+@dataclass
+class CrashRecoveryPolicy(DelayPolicy):
+    """Crash/recovery link faults on a deterministic schedule.
+
+    ``downtime`` maps a node id to a list of half-open ``[start, end)``
+    intervals during which that node is crashed.  A message whose
+    sender *or* receiver is down at send time is dropped; everything
+    else is delegated to ``base``.  (Messages already in flight when
+    the receiver crashes still deliver — the model charges the fault to
+    the link at send time, which keeps the policy stateless and the
+    schedule a pure function of its inputs.)
+
+    :meth:`periodic` builds the common churn scenario: each listed node
+    crashes for ``outage`` time units every ``period``, optionally
+    staggered so the crashes roll through the cluster instead of
+    striking simultaneously.
+    """
+
+    base: DelayPolicy
+    downtime: dict[int, list[tuple[float, float]]]
+
+    def __post_init__(self) -> None:
+        for node, intervals in self.downtime.items():
+            for start, end in intervals:
+                if not start < end:
+                    raise ConfigurationError(
+                        f"node {node}: downtime interval ({start}, {end}) is empty"
+                    )
+
+    @classmethod
+    def periodic(
+        cls,
+        base: DelayPolicy,
+        node_ids: Iterable[int],
+        period: float,
+        outage: float,
+        horizon: float,
+        stagger: float = 0.0,
+        start: float = 0.0,
+    ) -> "CrashRecoveryPolicy":
+        """Rolling outages: node k is down during
+        ``[start + k*stagger + i*period, … + outage)`` for every cycle
+        ``i`` up to ``horizon``."""
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if outage <= 0:
+            raise ConfigurationError(f"outage must be positive, got {outage}")
+        if outage >= period:
+            # Overlapping cycles would keep the node down for the whole
+            # horizon — a crash with no recovery, not a churn schedule.
+            raise ConfigurationError(
+                f"outage must be shorter than period, got outage={outage} "
+                f"period={period} (the node would never recover)"
+            )
+        downtime: dict[int, list[tuple[float, float]]] = {}
+        for index, node in enumerate(sorted(node_ids)):
+            phase = start + index * stagger
+            intervals = []
+            begin = phase
+            while begin < horizon:
+                intervals.append((begin, begin + outage))
+                begin += period
+            downtime[node] = intervals
+        return cls(base=base, downtime=downtime)
+
+    def is_down(self, node: int, time: float) -> bool:
+        for start, end in self.downtime.get(node, ()):
+            if start <= time < end:
+                return True
+        return False
+
+    def delay(self, send_time: float, src: int, dst: int, message: object) -> float | None:
+        if self.is_down(src, send_time) or self.is_down(dst, send_time):
+            return None
+        return self.base.delay(send_time, src, dst, message)
 
 
 @dataclass

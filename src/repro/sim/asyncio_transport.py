@@ -18,7 +18,7 @@ Usage::
     cluster = AsyncioCluster(link_delay=0.005)
     for i in range(4):
         cluster.add_node(TetraBFTNode(i, config, initial_value=f"v{i}"))
-    asyncio.run(cluster.run(until_idle=0.2))
+    asyncio.run(cluster.run(duration=0.2))
 """
 
 from __future__ import annotations
@@ -27,7 +27,7 @@ import asyncio
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.metrics.collectors import RunMetrics
 from repro.sim.runner import SimNode
 from repro.sim.trace import Trace, TraceKind
@@ -88,6 +88,7 @@ class AsyncNodeContext:
 
     def report_view_entry(self, view: int) -> None:
         self._cluster.metrics.latency.record_view_entry(self.node_id, view, self.now)
+        self.trace(TraceKind.VIEW_ENTER, view=view)
 
     def report_storage(self, size_bytes: int) -> None:
         self._cluster.metrics.storage.record(self.node_id, size_bytes)
@@ -114,6 +115,12 @@ class AsyncioCluster:
     def __post_init__(self) -> None:
         if self.time_scale is None:
             self.time_scale = self.link_delay
+        if self.time_scale <= 0:
+            raise ConfigurationError(
+                f"time_scale must be positive, got {self.time_scale} "
+                "(time_scale defaults to link_delay; pass link_delay > 0 "
+                "or an explicit positive time_scale)"
+            )
         self._nodes: dict[int, SimNode] = {}
         self._tasks: set[asyncio.Task] = set()
         self._queue: asyncio.Queue[_Outbound] | None = None

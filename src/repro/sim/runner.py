@@ -15,9 +15,9 @@ socket-based transport only needs to reimplement this one class.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.metrics.collectors import RunMetrics
 from repro.sim.events import EventHandle, EventScheduler
 from repro.sim.network import DelayPolicy, Network, SynchronousDelays
@@ -27,9 +27,12 @@ from repro.sim.trace import Trace, TraceKind
 class NodeContext:
     """The capabilities a node receives from the harness."""
 
+    __slots__ = ("node_id", "_sim", "_timer_label")
+
     def __init__(self, node_id: int, simulation: "Simulation") -> None:
         self.node_id = node_id
         self._sim = simulation
+        self._timer_label = f"timer node={node_id}"
 
     @property
     def now(self) -> float:
@@ -42,9 +45,7 @@ class NodeContext:
         self._sim.network.broadcast(self.node_id, message)
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> EventHandle:
-        return self._sim.scheduler.schedule(
-            delay, callback, label=f"timer node={self.node_id}"
-        )
+        return self._sim.scheduler.schedule(delay, callback, label=self._timer_label)
 
     # -- milestone reporting ---------------------------------------------------
 
@@ -60,7 +61,9 @@ class NodeContext:
         self._sim.metrics.storage.record(self.node_id, size_bytes)
 
     def trace(self, kind: TraceKind, **detail: object) -> None:
-        self._sim.trace.record(self.now, self.node_id, kind, **detail)
+        trace = self._sim.trace
+        if trace.enabled:
+            trace.record(self.now, self.node_id, kind, **detail)
 
 
 class SimNode(ABC):
@@ -123,22 +126,55 @@ class Simulation:
         until: float | None = None,
         max_events: int = 2_000_000,
         stop_when: Callable[[], bool] | None = None,
+        stop_check_interval: int = 1,
     ) -> float:
-        """Start (if needed) and drive the event loop.  Returns stop time."""
+        """Start (if needed) and drive the event loop.  Returns stop time.
+
+        ``stop_check_interval`` is forwarded to
+        :meth:`EventScheduler.run`: the ``stop_when`` predicate is
+        polled every k fired events instead of after every single one.
+        The default of 1 keeps exact stop timing; large-n scaling runs
+        pass a bigger k so an O(n) predicate stops dominating the loop.
+        """
         if not self._started:
             self.start()
-        return self.scheduler.run(until=until, max_events=max_events, stop_when=stop_when)
+        return self.scheduler.run(
+            until=until,
+            max_events=max_events,
+            stop_when=stop_when,
+            stop_check_interval=stop_check_interval,
+        )
 
     def run_until_all_decided(
         self,
         node_ids: list[int] | None = None,
         until: float | None = None,
         max_events: int = 2_000_000,
+        exclude: Iterable[int] = (),
+        stop_check_interval: int = 1,
     ) -> float:
-        """Run until every listed (default: every well-known) node decided."""
-        targets = node_ids if node_ids is not None else sorted(self.nodes)
+        """Run until every target node has decided.
+
+        Targets are ``node_ids`` when given, otherwise every registered
+        node *except* those in ``exclude``.  Adversarial or crashed
+        nodes never decide, so runs that include them would spin until
+        the event budget: pass them in ``exclude`` (or list the correct
+        nodes explicitly in ``node_ids``) to stop as soon as every
+        well-behaved node has decided.
+        """
+        excluded = frozenset(exclude)
+        if node_ids is not None:
+            if excluded:
+                raise ConfigurationError(
+                    "pass either node_ids or exclude, not both: node_ids "
+                    "already names the exact targets"
+                )
+            targets = list(node_ids)
+        else:
+            targets = [node for node in sorted(self.nodes) if node not in excluded]
         return self.run(
             until=until,
             max_events=max_events,
             stop_when=lambda: self.metrics.latency.all_decided(targets),
+            stop_check_interval=stop_check_interval,
         )

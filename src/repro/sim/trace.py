@@ -56,7 +56,17 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only event log with simple query helpers."""
+    """Append-only event log with simple query helpers.
+
+    ``enabled`` doubles as the hot-path gate: :meth:`record` is a no-op
+    when disabled, and performance-sensitive callers (the network's
+    broadcast path, the node context) check ``trace.enabled`` *before*
+    building the keyword detail dict, so a disabled trace costs one
+    attribute read per candidate event rather than a call with packed
+    kwargs.
+    """
+
+    __slots__ = ("enabled", "_events")
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled

@@ -52,3 +52,51 @@ def test_duplicate_node_rejected():
     cluster.add_node(TetraBFTNode(0, config, initial_value="v"))
     with pytest.raises(SimulationError):
         cluster.add_node(TetraBFTNode(0, config, initial_value="v"))
+
+
+def test_zero_link_delay_rejected_instead_of_dividing_by_zero():
+    # Regression: link_delay=0 used to default time_scale to 0, so the
+    # first `cluster.now` read raised ZeroDivisionError mid-run.
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="time_scale must be positive"):
+        AsyncioCluster(link_delay=0)
+
+
+def test_explicit_non_positive_time_scale_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="time_scale must be positive"):
+        AsyncioCluster(link_delay=0.005, time_scale=0)
+    with pytest.raises(ConfigurationError, match="time_scale must be positive"):
+        AsyncioCluster(link_delay=0.005, time_scale=-1.0)
+
+
+def test_zero_link_delay_with_explicit_time_scale_is_allowed():
+    cluster = AsyncioCluster(link_delay=0, time_scale=0.005)
+    assert cluster.now == 0.0  # no ZeroDivisionError
+
+
+def test_view_entry_emits_trace_like_simulated_context():
+    # Regression: the asyncio context recorded the latency metric but
+    # never the VIEW_ENTER trace event, so traces diverged between the
+    # simulated and asyncio transports.
+    from repro.sim.asyncio_transport import AsyncNodeContext
+    from repro.sim.trace import TraceKind
+
+    cluster = AsyncioCluster()
+    ctx = AsyncNodeContext(2, cluster)
+    ctx.report_view_entry(5)
+    (event,) = cluster.trace.events(kind=TraceKind.VIEW_ENTER)
+    assert event.node == 2
+    assert event.get("view") == 5
+    assert cluster.metrics.latency.view_entry_times[2] == [(5, 0.0)]
+
+
+def test_module_docstring_example_uses_real_run_signature():
+    # Regression: the usage example advertised run(until_idle=...),
+    # a parameter that never existed.
+    import repro.sim.asyncio_transport as transport
+
+    assert "until_idle" not in transport.__doc__
+    assert "duration=" in transport.__doc__

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+
 import pytest
 
 from repro.errors import SimulationError
@@ -135,3 +140,259 @@ def test_events_fired_counter():
         sched.schedule(1.0, lambda: None)
     sched.run()
     assert sched.events_fired == 5
+
+
+def test_pending_tracks_schedule_cancel_and_fire():
+    sched = EventScheduler()
+    handles = [sched.schedule(float(k + 1), lambda: None) for k in range(5)]
+    assert sched.pending() == 5
+    handles[0].cancel()
+    handles[3].cancel()
+    assert sched.pending() == 3
+    sched.run()
+    assert sched.pending() == 0
+    assert sched.events_fired == 3
+
+
+def test_cancel_twice_does_not_double_decrement_pending():
+    sched = EventScheduler()
+    sched.schedule(1.0, lambda: None)
+    handle = sched.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sched.pending() == 1
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    sched = EventScheduler()
+    handle = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    sched.run(until=1.5)
+    assert sched.pending() == 1
+    handle.cancel()  # already fired: harmless
+    assert sched.pending() == 1
+    sched.run()
+    assert sched.pending() == 0
+
+
+def test_schedule_args_are_passed_to_callback():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(1.0, lambda a, b: seen.append((a, b)), args=(7, "x"))
+    sched.run()
+    assert seen == [(7, "x")]
+
+
+def test_stop_check_interval_polls_every_k_events():
+    sched = EventScheduler()
+    fired = []
+    checks = []
+    for k in range(10):
+        sched.schedule(float(k + 1), lambda k=k: fired.append(k))
+
+    def predicate():
+        checks.append(len(fired))
+        return len(fired) >= 3
+
+    sched.run(stop_when=predicate, stop_check_interval=4)
+    # The predicate is only consulted after every 4th event, so the run
+    # overshoots the stop condition by one event (4 fired, not 3) and
+    # paid a single predicate call instead of four.
+    assert fired == [0, 1, 2, 3]
+    assert checks == [4]
+
+
+def test_stop_check_interval_of_one_matches_per_event_polling():
+    sched = EventScheduler()
+    fired = []
+    for k in range(10):
+        sched.schedule(float(k + 1), lambda k=k: fired.append(k))
+    sched.run(stop_when=lambda: len(fired) >= 3, stop_check_interval=1)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_check_interval_must_be_positive():
+    sched = EventScheduler()
+    with pytest.raises(SimulationError, match="stop_check_interval"):
+        sched.run(stop_check_interval=0)
+
+
+def test_stop_condition_met_inside_unpolled_window_beats_budget_error():
+    # The predicate becomes true before the budget is exhausted but is
+    # not polled again until after it; the run must stop cleanly, not
+    # report a livelock.
+    sched = EventScheduler()
+    fired = []
+    for k in range(10):
+        sched.schedule(float(k + 1), lambda k=k: fired.append(k))
+    end = sched.run(
+        max_events=5, stop_when=lambda: len(fired) >= 3, stop_check_interval=64
+    )
+    assert len(fired) == 5
+    assert end == 5.0
+
+
+# --- determinism against the seed scheduler ---------------------------------
+#
+# A faithful replica of the pre-refactor scheduler (order=True dataclass
+# heap entries).  The tuple-heap rewrite must fire the exact same
+# callbacks at the exact same times in the exact same order for any
+# seeded workload — the byte-identical-trace guarantee every replayable
+# test in this suite leans on.
+
+
+@dataclass(order=True)
+class _SeedEvent:
+    time: float
+    seq: int
+    callback: object = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class _SeedScheduler:
+    def __init__(self) -> None:
+        self._heap: list[_SeedEvent] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, delay, callback):
+        event = _SeedEvent(self.now + delay, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self) -> None:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+
+
+def _drive_random_workload(schedule, cancel, now, seed: int) -> list[tuple[float, int]]:
+    """Seeded storm of schedules / nested schedules / cancellations.
+
+    ``schedule``/``cancel``/``now`` abstract over the two scheduler
+    APIs so the identical operation sequence hits both.
+    """
+    rng = random.Random(seed)
+    log: list[tuple[float, int]] = []
+    live = []
+
+    def fire(tag: int) -> None:
+        log.append((now(), tag))
+        roll = rng.random()
+        if roll < 0.4:
+            live.append(schedule(rng.choice([0.0, 0.5, 1.0, 1.0, 2.5]), fire, len(log)))
+        elif roll < 0.5 and live:
+            cancel(live.pop(rng.randrange(len(live))))
+
+    for tag in range(40):
+        live.append(schedule(rng.choice([0.0, 1.0, 1.0, 3.0]), fire, tag))
+    return log
+
+
+def test_tuple_heap_matches_seed_scheduler_trace():
+    def run_new(seed: int):
+        sched = EventScheduler()
+        return _drive_random_workload(
+            lambda d, fn, tag: sched.schedule(d, fn, args=(tag,)),
+            lambda handle: handle.cancel(),
+            lambda: sched.now,
+            seed,
+        ), sched
+
+    def run_seed(seed: int):
+        sched = _SeedScheduler()
+        return _drive_random_workload(
+            lambda d, fn, tag: sched.schedule(d, lambda: fn(tag)),
+            lambda event: setattr(event, "cancelled", True),
+            lambda: sched.now,
+            seed,
+        ), sched
+
+    for seed in (0, 1, 7, 1234):
+        new_log, new_sched = run_new(seed)
+        seed_log, seed_sched = run_seed(seed)
+        new_sched.run()
+        seed_sched.run()
+        assert new_log == seed_log, f"divergence for seed {seed}"
+        assert new_sched.now == seed_sched.now
+
+
+# --- full-simulation determinism and harness semantics ----------------------
+
+
+def _traced_protocol_run(seed: int):
+    from repro.core import ProtocolConfig, TetraBFTNode
+    from repro.sim import Simulation, UniformRandomDelays
+
+    config = ProtocolConfig.create(5)
+    sim = Simulation(UniformRandomDelays(0.3, 1.0, seed=seed), trace_enabled=True)
+    for i in range(5):
+        sim.add_node(TetraBFTNode(i, config, initial_value=f"v{i}"))
+    sim.run_until_all_decided()
+    return sim
+
+
+def test_same_seed_produces_byte_identical_trace():
+    a = _traced_protocol_run(seed=42)
+    b = _traced_protocol_run(seed=42)
+    assert [(e.time, e.node, e.kind, e.detail) for e in a.trace] == [
+        (e.time, e.node, e.kind, e.detail) for e in b.trace
+    ]
+    assert a.metrics.latency.decision_times == b.metrics.latency.decision_times
+    assert a.metrics.latency.decision_values == b.metrics.latency.decision_values
+    assert a.scheduler.events_fired == b.scheduler.events_fired
+
+
+class _DecideOnPing:
+    """Minimal node: decides when it hears a ping (node 0 pings at start)."""
+
+    def __init__(self, node_id: int, mute: bool = False) -> None:
+        self.node_id = node_id
+        self.mute = mute
+
+    def start(self, ctx) -> None:
+        self.ctx = ctx
+        if self.node_id == 0:
+            ctx.broadcast("ping")
+
+    def receive(self, sender: int, message: object) -> None:
+        if not self.mute:
+            self.ctx.report_decision("pong")
+
+
+def test_run_until_all_decided_exclude_skips_adversarial_nodes():
+    from repro.sim import Simulation
+
+    sim = Simulation()
+    for i in range(4):
+        # Node 3 models an adversarial node that never decides.
+        sim.add_node(_DecideOnPing(i, mute=(i == 3)))
+    end = sim.run_until_all_decided(exclude=[3])
+    assert sim.metrics.latency.all_decided([0, 1, 2])
+    assert 3 not in sim.metrics.latency.decision_times
+    assert end == 1.0  # stopped at the first delivery wave, not the budget
+
+
+def test_run_until_all_decided_without_exclude_waits_for_everyone():
+    from repro.sim import Simulation
+
+    sim = Simulation()
+    for i in range(4):
+        sim.add_node(_DecideOnPing(i, mute=(i == 3)))
+    # Node 3 never decides, so the run only ends when the heap drains.
+    sim.run_until_all_decided(until=50)
+    assert not sim.metrics.latency.all_decided([0, 1, 2, 3])
+
+
+def test_run_until_all_decided_rejects_node_ids_combined_with_exclude():
+    from repro.errors import ConfigurationError
+    from repro.sim import Simulation
+
+    sim = Simulation()
+    for i in range(4):
+        sim.add_node(_DecideOnPing(i))
+    with pytest.raises(ConfigurationError, match="node_ids or exclude"):
+        sim.run_until_all_decided(node_ids=[0, 1, 2, 3], exclude=[3])

@@ -7,10 +7,14 @@ import pytest
 from repro.errors import ConfigurationError, SimulationError
 from repro.metrics import MessageMetrics
 from repro.sim import (
+    CrashRecoveryPolicy,
     EventScheduler,
+    GeoLatencyPolicy,
     Network,
     PartialSynchronyPolicy,
     SynchronousDelays,
+    Trace,
+    TraceKind,
     UniformRandomDelays,
 )
 
@@ -128,6 +132,217 @@ class TestPartialSynchrony:
             PartialSynchronyPolicy(gst=0.0, delta=1.0, delta_min=2.0)
         with pytest.raises(ConfigurationError):
             PartialSynchronyPolicy(gst=0.0, delta=1.0, loss_before_gst=1.5)
+
+    def test_validation_messages_name_the_actual_failure(self):
+        # Regression: a non-positive delta_min used to report
+        # "{delta_min} > {delta}" even though the failure was the sign.
+        with pytest.raises(ConfigurationError, match="delta_min must be positive"):
+            PartialSynchronyPolicy(gst=0.0, delta=1.0, delta_min=0.0)
+        with pytest.raises(ConfigurationError, match="delta_min cannot exceed delta"):
+            PartialSynchronyPolicy(gst=0.0, delta=1.0, delta_min=2.0)
+
+
+class TestGeoLatency:
+    def make(self, **overrides):
+        params = dict(
+            region_of={0: "us", 1: "us", 2: "eu"},
+            latency={("us", "us"): 0.05, ("us", "eu"): 0.4},
+            default=0.8,
+        )
+        params.update(overrides)
+        return GeoLatencyPolicy(**params)
+
+    def test_matrix_lookup(self):
+        policy = self.make()
+        assert policy.delay(0.0, 0, 1, None) == 0.05
+
+    def test_reverse_pair_fallback_makes_links_symmetric(self):
+        policy = self.make()
+        assert policy.delay(0.0, 0, 2, None) == 0.4  # us -> eu
+        assert policy.delay(0.0, 2, 0, None) == 0.4  # eu -> us, reversed key
+
+    def test_unknown_pair_uses_default(self):
+        policy = self.make(region_of={0: "us", 1: "us", 2: "asia"})
+        assert policy.delay(0.0, 0, 2, None) == 0.8
+
+    def test_jitter_is_bounded_and_deterministic_per_seed(self):
+        delays_a = []
+        delays_b = []
+        policy_a = self.make(jitter=0.2, seed=9)
+        policy_b = self.make(jitter=0.2, seed=9)
+        for _ in range(50):
+            delays_a.append(policy_a.delay(0.0, 0, 2, None))
+            delays_b.append(policy_b.delay(0.0, 0, 2, None))
+        assert delays_a == delays_b
+        assert all(0.4 <= d <= 0.6 for d in delays_a)
+
+    def test_delta_cap_validates_worst_case(self):
+        with pytest.raises(ConfigurationError, match="delta_cap"):
+            self.make(jitter=0.5, delta_cap=1.0)  # default 0.8 + 0.5 > 1.0
+        self.make(jitter=0.1, delta_cap=1.0)  # 0.9 <= 1.0: fine
+
+    def test_latencies_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            self.make(latency={("us", "us"): 0.0})
+        with pytest.raises(ConfigurationError):
+            self.make(default=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(jitter=-0.1)
+
+
+class TestCrashRecovery:
+    def test_messages_touching_a_down_node_are_dropped(self):
+        policy = CrashRecoveryPolicy(
+            SynchronousDelays(1.0), downtime={2: [(5.0, 10.0)]}
+        )
+        assert policy.delay(6.0, 2, 0, None) is None  # down sender
+        assert policy.delay(6.0, 0, 2, None) is None  # down receiver
+        assert policy.delay(6.0, 0, 1, None) == 1.0  # unaffected link
+
+    def test_node_recovers_at_interval_end(self):
+        policy = CrashRecoveryPolicy(
+            SynchronousDelays(1.0), downtime={2: [(5.0, 10.0)]}
+        )
+        assert policy.delay(4.9, 0, 2, None) == 1.0
+        assert policy.delay(10.0, 0, 2, None) == 1.0  # half-open interval
+
+    def test_periodic_schedule_rolls_through_nodes(self):
+        policy = CrashRecoveryPolicy.periodic(
+            SynchronousDelays(1.0),
+            node_ids=[0, 1],
+            period=20.0,
+            outage=5.0,
+            horizon=50.0,
+            stagger=10.0,
+        )
+        assert policy.downtime[0] == [(0.0, 5.0), (20.0, 25.0), (40.0, 45.0)]
+        assert policy.downtime[1] == [(10.0, 15.0), (30.0, 35.0)]
+        assert policy.is_down(0, 2.0)
+        assert not policy.is_down(0, 7.0)
+        assert policy.is_down(1, 12.0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashRecoveryPolicy(SynchronousDelays(1.0), downtime={0: [(5.0, 5.0)]})
+
+    def test_periodic_rejects_non_positive_period_and_outage(self):
+        # Regression: period<=0 used to loop forever building intervals.
+        with pytest.raises(ConfigurationError, match="period"):
+            CrashRecoveryPolicy.periodic(
+                SynchronousDelays(1.0), [0], period=0.0, outage=1.0, horizon=10.0
+            )
+        with pytest.raises(ConfigurationError, match="outage"):
+            CrashRecoveryPolicy.periodic(
+                SynchronousDelays(1.0), [0], period=5.0, outage=-1.0, horizon=10.0
+            )
+
+    def test_periodic_rejects_outage_covering_the_whole_period(self):
+        # outage >= period would mean the node never actually recovers —
+        # a crash-only fault wearing a churn label.
+        with pytest.raises(ConfigurationError, match="never recover"):
+            CrashRecoveryPolicy.periodic(
+                SynchronousDelays(1.0), [0], period=5.0, outage=5.0, horizon=10.0
+            )
+
+    def test_end_to_end_drop_then_deliver(self):
+        policy = CrashRecoveryPolicy(
+            SynchronousDelays(1.0), downtime={1: [(0.0, 3.0)]}
+        )
+        sched, net, inboxes = make_network(policy)
+        net.send(0, 1, "early")  # node 1 is down: dropped
+        sched.schedule(4.0, lambda: net.send(0, 1, "late"))
+        sched.run()
+        assert inboxes[1] == [(0, "late")]
+        assert net.metrics.dropped_count[0] == 1
+
+
+class TestBroadcastFastPath:
+    """The batched broadcast must be observationally identical to n sends."""
+
+    def test_metrics_match_per_send_path(self):
+        sched_a, net_a, _ = make_network(SynchronousDelays(1.0))
+        sched_b, net_b, _ = make_network(SynchronousDelays(1.0))
+        message = ("payload", 123, "abc")
+        net_a.broadcast(0, message)
+        for dst in net_b.node_ids:
+            net_b.send(0, dst, message)
+        sched_a.run()
+        sched_b.run()
+        for attr in (
+            "sent_count", "delivered_count", "dropped_count",
+            "bytes_sent_by_node", "bytes_by_type", "count_by_type",
+        ):
+            assert getattr(net_a.metrics, attr) == getattr(net_b.metrics, attr), attr
+
+    def test_trace_matches_per_send_path(self):
+        def run_one(use_broadcast: bool):
+            sched = EventScheduler()
+            trace = Trace(enabled=True)
+            net = Network(sched, SynchronousDelays(1.0), trace=trace)
+            for node in range(3):
+                net.register(node, lambda s, m: None)
+            if use_broadcast:
+                net.broadcast(1, "msg")
+            else:
+                for dst in net.node_ids:
+                    net.send(1, dst, "msg")
+            sched.run()
+            return [(e.time, e.node, e.kind, e.detail) for e in trace]
+
+        assert run_one(True) == run_one(False)
+
+    def test_broadcast_records_drops_per_destination(self):
+        from repro.sim import TargetedDropPolicy, silence_nodes
+
+        policy = TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([0]))
+        sched, net, inboxes = make_network(policy)
+        net.broadcast(0, "silenced")
+        net.broadcast(1, "heard")
+        sched.run()
+        assert net.metrics.dropped_count[0] == 3
+        assert net.metrics.sent_count[0] == 3  # sends are counted pre-drop
+        assert inboxes[2] == [(1, "heard")]
+
+    def test_disabled_metrics_record_nothing(self):
+        sched = EventScheduler()
+        metrics = MessageMetrics(enabled=False)
+        net = Network(sched, SynchronousDelays(1.0), metrics=metrics)
+        received = []
+        for node in range(3):
+            net.register(node, lambda s, m: received.append(m))
+        net.broadcast(0, "msg")
+        net.send(0, 1, "msg")
+        sched.run()
+        assert len(received) == 4  # delivery itself is unaffected
+        assert metrics.total_messages_sent == 0
+        assert not metrics.delivered_count
+
+    def test_stateful_policy_consumes_randomness_in_sorted_dst_order(self):
+        def delays_via(use_broadcast: bool):
+            policy = UniformRandomDelays(0.1, 2.0, seed=11)
+            sched = EventScheduler()
+            net = Network(sched, policy)
+            arrivals = {}
+            for node in range(3):
+                net.register(node, lambda s, m, n=node: arrivals.setdefault(n, sched.now))
+            if use_broadcast:
+                net.broadcast(0, "m")
+            else:
+                for dst in net.node_ids:
+                    net.send(0, dst, "m")
+            sched.run()
+            return arrivals
+
+        assert delays_via(True) == delays_via(False)
+
+
+def test_record_broadcast_equals_repeated_record_send():
+    single, batched = MessageMetrics(), MessageMetrics()
+    message = ("abc", 7)
+    for _ in range(5):
+        single.record_send(3, message)
+    batched.record_broadcast(3, message, 5)
+    assert single == batched
 
 
 def test_drop_recorded_in_metrics():
