@@ -13,6 +13,14 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "heavy: full-scale sweeps excluded from tier-1 runs "
+        "(set REPRO_HEAVY=1 to include them)",
+    )
+
+
 @pytest.fixture
 def once(benchmark):
     """Run an experiment exactly once under the benchmark clock."""

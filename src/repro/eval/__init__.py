@@ -11,6 +11,7 @@ from repro.eval.fig2_pipeline import PipelineResult, run_pipeline
 from repro.eval.fig3_viewchange import ViewChangeResult, run_viewchange
 from repro.eval.responsiveness import ResponsivenessPoint, run_responsiveness
 from repro.eval.scaling import ScalingRow, run_scaling
+from repro.eval.smr_bench import SMRRow, run_smr_bench, run_smr_sweep, run_smr_smoke
 from repro.eval.table1 import PROTOCOLS, ProtocolEntry, run_table1
 from repro.eval.timeout_ablation import TimeoutPoint, run_timeout_ablation
 from repro.eval.verification_run import VerificationSummary, run_verification
@@ -21,6 +22,7 @@ __all__ = [
     "PipelineResult",
     "ProtocolEntry",
     "ResponsivenessPoint",
+    "SMRRow",
     "ScalingRow",
     "TimeoutPoint",
     "VerificationSummary",
@@ -29,6 +31,9 @@ __all__ = [
     "run_pipeline",
     "run_responsiveness",
     "run_scaling",
+    "run_smr_bench",
+    "run_smr_smoke",
+    "run_smr_sweep",
     "run_table1",
     "run_timeout_ablation",
     "run_verification",

@@ -1,4 +1,5 @@
-"""Instrumentation collectors for messages, latency, and storage."""
+"""Instrumentation collectors for messages, latency, and storage,
+plus client-observed SMR latency/throughput trackers."""
 
 from repro.metrics.collectors import (
     LatencyMetrics,
@@ -7,11 +8,19 @@ from repro.metrics.collectors import (
     StorageMetrics,
     estimate_wire_size,
 )
+from repro.metrics.smr_trackers import (
+    LatencyTracker,
+    SMRTrackers,
+    ThroughputTracker,
+)
 
 __all__ = [
     "LatencyMetrics",
+    "LatencyTracker",
     "MessageMetrics",
     "RunMetrics",
+    "SMRTrackers",
     "StorageMetrics",
+    "ThroughputTracker",
     "estimate_wire_size",
 ]

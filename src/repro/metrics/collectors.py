@@ -46,6 +46,12 @@ def _generic_size(value: object) -> int:
         return max(1, len(value))
     if isinstance(value, (tuple, list, frozenset, set)):
         return sum(_generic_size(item) for item in value)
+    if isinstance(value, dict):
+        # Both sides of every entry travel on the wire; flat-charging a
+        # scalar here would undercount dict-carrying messages.
+        return sum(
+            _generic_size(key) + _generic_size(item) for key, item in value.items()
+        )
     if hasattr(value, "__dataclass_fields__"):
         fields = value.__dataclass_fields__  # type: ignore[attr-defined]
         return sum(_generic_size(getattr(value, name)) for name in fields)

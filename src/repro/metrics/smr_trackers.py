@@ -1,0 +1,146 @@
+"""Client-observed SMR measurement: commit latency and throughput.
+
+The protocol-level collectors in :mod:`repro.metrics.collectors` answer
+the paper's Table 1 questions (message delays to *decide*, bits,
+storage).  The SMR experiment asks what a *client* sees instead: how
+long after ``submit`` does a transaction execute on every replica, and
+how many transactions per second does the cluster sustain.  These
+trackers are the single place those quantities are accounted for:
+
+* :class:`LatencyTracker` — submit and per-replica commit timestamps,
+  aggregated into p50/p95/p99 commit latency in message delays;
+* :class:`ThroughputTracker` — finalized blocks, applied transactions,
+  and mempool occupancy per replica over simulated time;
+* :class:`SMRTrackers` — the bundle a
+  :class:`~repro.smr.replica.Replica` reports into.
+
+Like the protocol collectors, they are deliberately dumb containers:
+replicas push facts in, the evaluation layer pulls aggregates out.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+#: The percentile points the smr experiment reports.
+PERCENTILES = (50, 95, 99)
+
+
+class LatencyTracker:
+    """Submit→finalize latency samples across a replica cluster.
+
+    One submit timestamp per transaction (the earliest — clients
+    broadcast to several replicas at the same instant) and one commit
+    sample per (replica, transaction) pair: the experiment's latency
+    distribution is over what every replica's client connection would
+    observe, not just the luckiest replica's.
+    """
+
+    def __init__(self) -> None:
+        self._submitted: dict[str, float] = {}
+        self._samples: list[float] = []
+
+    def record_submit(self, txid: str, time: float) -> None:
+        self._submitted.setdefault(txid, time)
+
+    def record_commit(self, node: int, txid: str, time: float) -> None:
+        del node  # every replica's observation is one sample
+        submit = self._submitted.get(txid)
+        if submit is None:
+            return  # executed but never submitted through a tracked replica
+        self._samples.append(time - submit)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def submitted_count(self) -> int:
+        return len(self._submitted)
+
+    def percentiles(
+        self, delta: float = 1.0, points: tuple[int, ...] = PERCENTILES
+    ) -> dict[int, float]:
+        """Nearest-rank latency percentiles, in message-delay units."""
+        if not self._samples:
+            return {p: math.nan for p in points}
+        ordered = sorted(self._samples)
+        out = {}
+        for p in points:
+            rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+            out[p] = ordered[rank] / delta
+        return out
+
+
+class ThroughputTracker:
+    """Commit-side throughput accounting for one SMR run."""
+
+    def __init__(self) -> None:
+        self._blocks: Counter = Counter()  # node → finalized blocks applied
+        self._txns: Counter = Counter()  # node → transactions applied
+        self._mempool_peak: dict[int, int] = {}
+        self.last_commit_time = 0.0
+
+    def record_block(
+        self, node: int, slot: int, txns: int, mempool_size: int, time: float
+    ) -> None:
+        del slot
+        self._blocks[node] += 1
+        self._txns[node] += txns
+        self.record_mempool(node, mempool_size)
+        if time > self.last_commit_time:
+            self.last_commit_time = time
+
+    def record_mempool(self, node: int, size: int) -> None:
+        """Occupancy sample; replicas report on submit (where the true
+        high-water mark sits — a burst lands before any drain) and
+        after each block's drain."""
+        if size > self._mempool_peak.get(node, 0):
+            self._mempool_peak[node] = size
+
+    def blocks_applied(self, node: int) -> int:
+        return self._blocks[node]
+
+    def txns_applied(self, node: int) -> int:
+        return self._txns[node]
+
+    def min_txns_applied(self, nodes: list[int]) -> int:
+        """Transactions every listed replica has executed — the
+        cluster-level committed count (a transaction only counts once
+        the *whole* cluster, crashed nodes excluded, ran it)."""
+        return min((self._txns[node] for node in nodes), default=0)
+
+    def min_blocks_applied(self, nodes: list[int]) -> int:
+        return min((self._blocks[node] for node in nodes), default=0)
+
+    def peak_mempool(self, nodes: list[int] | None = None) -> int:
+        peaks = (
+            self._mempool_peak.values()
+            if nodes is None
+            else (self._mempool_peak.get(node, 0) for node in nodes)
+        )
+        return max(peaks, default=0)
+
+
+@dataclass
+class SMRTrackers:
+    """The tracker bundle one SMR run shares across its replicas."""
+
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    throughput: ThroughputTracker = field(default_factory=ThroughputTracker)
+
+    def record_submit(self, txid: str, time: float) -> None:
+        self.latency.record_submit(txid, time)
+
+    def record_commit(self, node: int, txid: str, time: float) -> None:
+        self.latency.record_commit(node, txid, time)
+
+    def record_block(
+        self, node: int, slot: int, txns: int, mempool_size: int, time: float
+    ) -> None:
+        self.throughput.record_block(node, slot, txns, mempool_size, time)
+
+    def record_mempool(self, node: int, size: int) -> None:
+        self.throughput.record_mempool(node, size)

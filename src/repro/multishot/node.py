@@ -412,6 +412,9 @@ class MultiShotNode(SimNode):
         stale = [slot for slot in self.slots if slot < horizon]
         for slot in stale:
             del self.slots[slot]
+        # Notarization sets below the horizon are dead weight too: the
+        # finalized-slot index answers every query that still matters.
+        self.chain.prune_below(max(0, horizon))
         keep = {b.digest for b in self.chain.finalized}
         self.store.prune_below(max(0, horizon), keep)
 

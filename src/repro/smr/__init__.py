@@ -2,6 +2,13 @@
 
 from repro.smr.kvstore import KVCommandError, KVStore
 from repro.smr.mempool import Mempool, Transaction
-from repro.smr.replica import Replica
+from repro.smr.replica import InFlightIndex, Replica
 
-__all__ = ["KVCommandError", "KVStore", "Mempool", "Replica", "Transaction"]
+__all__ = [
+    "InFlightIndex",
+    "KVCommandError",
+    "KVStore",
+    "Mempool",
+    "Replica",
+    "Transaction",
+]

@@ -10,16 +10,102 @@ transactions are applied, in chain order, to the local
 Clients inject transactions with :meth:`submit`; in a simulation,
 spread the same transactions to at least one well-behaved replica and
 Definition 2's liveness says they eventually execute everywhere.
+
+Proposal-time duplicate avoidance is incremental: an
+:class:`InFlightIndex` caches each block's transaction-id set and walks
+parent pointers only through the *unfinalized* suffix of the lineage
+being extended (bounded by the abort window), instead of re-walking the
+whole chain to genesis on every proposal as the seed implementation
+did.  Hook a :class:`~repro.metrics.smr_trackers.SMRTrackers` bundle
+into the constructor to record client-observed submit→finalize latency
+and commit throughput for the ``smr`` experiment.
 """
 
 from __future__ import annotations
 
-from repro.multishot.block import Block
+from repro.metrics.smr_trackers import SMRTrackers
+from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore, Digest
 from repro.multishot.node import MultiShotConfig, MultiShotNode
 from repro.quorums.system import NodeId
 from repro.sim.runner import NodeContext, SimNode
 from repro.smr.kvstore import KVStore
 from repro.smr.mempool import Mempool, Transaction
+
+
+class InFlightIndex:
+    """Incrementally maintained map of which txids ride which lineage.
+
+    ``txids_on(parent)`` is the set a proposer must exclude: every
+    transaction already included in an unfinalized block on the chain
+    ending at ``parent``.  Each block's txid set is extracted from its
+    payload exactly once (then cached), and the lineage walk stops at
+    the finalized frontier, so the per-proposal cost is O(abort window
+    × batch) regardless of chain length.  Memory is bounded the same
+    way: every finalization prunes cache and frontier entries more than
+    :data:`RETENTION_SLOTS` behind the tip (only digests a future
+    lineage walk can still reach matter — all within the abort window).
+    """
+
+    #: Slots of frontier/cache history retained behind the finalized
+    #: tip.  An independent constant: it must stay >= the consensus
+    #: node's own retention (RETENTION_SLOTS in multishot/node.py, 8)
+    #: so the frontier outlives every lineage a proposer can still
+    #: extend; kept at double that for slack.  If a walk ever outruns
+    #: it anyway, the pruned block store truncates the walk and the
+    #: proposer merely excludes less — never incorrectly.
+    RETENTION_SLOTS = 16
+
+    def __init__(self, store: BlockStore) -> None:
+        self._store = store
+        # digest → (parent digest, block slot, txids carried by it).
+        self._by_digest: dict[Digest, tuple[Digest, int, frozenset[str]]] = {}
+        # Finalized-frontier digests (→ slot): lineage walks stop here
+        # (their transactions left the mempool at finalization).
+        self._finalized: dict[Digest, int] = {}
+
+    @staticmethod
+    def block_txids(block: Block) -> frozenset[str]:
+        payload = block.payload
+        if not isinstance(payload, tuple):
+            return frozenset()
+        return frozenset(
+            txn.txid for txn in payload if isinstance(txn, Transaction)
+        )
+
+    def txids_on(self, parent: Digest) -> set[str]:
+        """Union of txids on the unfinalized suffix ending at ``parent``.
+
+        A missing block body truncates the walk: the proposer excludes
+        what it can see (the seed behaviour excluded nothing in that
+        case; a partial exclusion only avoids more duplicates).
+        """
+        in_flight: set[str] = set()
+        current = parent
+        while current != GENESIS_DIGEST and current not in self._finalized:
+            entry = self._by_digest.get(current)
+            if entry is None:
+                block = self._store.get(current)
+                if block is None:
+                    break
+                entry = (block.parent, block.slot, self.block_txids(block))
+                self._by_digest[current] = entry
+            in_flight.update(entry[2])
+            current = entry[0]
+        return in_flight
+
+    def mark_finalized(self, block: Block) -> None:
+        """Advance the frontier: ``block`` no longer counts as in flight."""
+        self._finalized[block.digest] = block.slot
+        self._by_digest.pop(block.digest, None)
+        horizon = block.slot - self.RETENTION_SLOTS
+        if horizon <= 0:
+            return
+        # Frontier digests and cached lineages (finalized *or* aborted)
+        # behind the horizon can never be reached by a future walk.
+        for digest in [d for d, s in self._finalized.items() if s < horizon]:
+            del self._finalized[digest]
+        for digest in [d for d, e in self._by_digest.items() if e[1] < horizon]:
+            del self._by_digest[digest]
 
 
 class Replica(SimNode):
@@ -30,21 +116,26 @@ class Replica(SimNode):
         node_id: NodeId,
         config: MultiShotConfig,
         max_batch: int = 100,
+        trackers: SMRTrackers | None = None,
     ) -> None:
         self.node_id = node_id
         self.mempool = Mempool(max_batch=max_batch)
         self.store = KVStore()
         self.executed_blocks: list[Block] = []
+        self.trackers = trackers
+        self._ctx: NodeContext | None = None
         self.consensus = MultiShotNode(
             node_id,
             config,
             payload_fn=self._make_payload,
             on_finalize=self._execute_block,
         )
+        self.in_flight = InFlightIndex(self.consensus.store)
 
     # -- SimNode plumbing -----------------------------------------------------
 
     def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
         self.consensus.start(ctx)
 
     def receive(self, sender: NodeId, message: object) -> None:
@@ -54,7 +145,12 @@ class Replica(SimNode):
 
     def submit(self, txn: Transaction) -> bool:
         """Inject a client transaction into this replica's mempool."""
-        return self.mempool.add(txn)
+        accepted = self.mempool.add(txn)
+        if accepted and self.trackers is not None:
+            now = self._ctx.now if self._ctx is not None else 0.0
+            self.trackers.record_submit(txn.txid, now)
+            self.trackers.record_mempool(self.node_id, self.mempool.pending_count)
+        return accepted
 
     @property
     def finalized_chain(self) -> list[Block]:
@@ -77,20 +173,12 @@ class Replica(SimNode):
         duplicates the executor must then discard.
         """
         del slot
-        in_flight: set[str] = set()
-        chain = self.consensus.store.chain_to_genesis(parent)
-        if chain is not None:
-            for block in chain:
-                payload = block.payload
-                if isinstance(payload, tuple):
-                    in_flight.update(
-                        txn.txid for txn in payload if isinstance(txn, Transaction)
-                    )
-        return self.mempool.next_batch(exclude=frozenset(in_flight))
+        return self.mempool.next_batch(exclude=self.in_flight.txids_on(parent))
 
     def _execute_block(self, block: Block) -> None:
         """Apply one finalized block in chain order."""
         self.executed_blocks.append(block)
+        self.in_flight.mark_finalized(block)
         payload = block.payload
         if not isinstance(payload, tuple):
             return  # e.g. a synthetic payload from a non-SMR proposer
@@ -103,3 +191,14 @@ class Replica(SimNode):
             self.store.apply(txn.txid, txn.op)
             applied_ids.append(txn.txid)
         self.mempool.mark_finalized(applied_ids)
+        if self.trackers is not None:
+            now = self._ctx.now if self._ctx is not None else 0.0
+            self.trackers.record_block(
+                self.node_id,
+                block.slot,
+                len(applied_ids),
+                self.mempool.pending_count,
+                now,
+            )
+            for txid in applied_ids:
+                self.trackers.record_commit(self.node_id, txid, now)

@@ -22,6 +22,7 @@ import random
 from abc import ABC, abstractmethod
 from collections.abc import Iterator, Sequence
 
+from repro.errors import ConfigurationError
 from repro.sim.runner import Simulation
 from repro.smr.mempool import Transaction
 from repro.smr.replica import Replica
@@ -45,12 +46,28 @@ class Workload(ABC):
         ``targets`` selects which replicas receive submissions (default:
         all — clients broadcasting to every replica, the standard
         liveness assumption).  Returns the number of transactions.
+
+        Every target id must name a replica in ``replicas`` and the
+        resulting set must be non-empty: a typo here used to inject to
+        *zero* replicas and let a "liveness" run pass vacuously, so
+        both cases now raise :class:`ConfigurationError`.
         """
-        chosen = (
-            list(replicas)
-            if targets is None
-            else [r for r in replicas if r.node_id in set(targets)]
-        )
+        if targets is None:
+            chosen = list(replicas)
+        else:
+            known = {replica.node_id for replica in replicas}
+            unknown = set(targets) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"inject targets name unknown replica ids {sorted(unknown)}; "
+                    f"known ids: {sorted(known)}"
+                )
+            target_set = set(targets)
+            chosen = [r for r in replicas if r.node_id in target_set]
+        if not chosen:
+            raise ConfigurationError(
+                "inject requires at least one target replica; got an empty set"
+            )
         count = 0
         for submit_time, txn in self.transactions():
             count += 1

@@ -22,6 +22,7 @@ from repro.eval import (
     run_viewchange,
 )
 from repro.eval.report import format_series, format_table
+from repro.eval.smr_bench import build_workload, format_smr_report, run_smr_bench
 from repro.eval.table1 import fit_growth_exponent
 from repro.verification import ModelConfig
 
@@ -109,3 +110,37 @@ class TestVerificationRunner:
         assert summary.liveness_ok
         assert summary.inductive_ok
         assert summary.inductive_steps_checked > 100
+
+
+class TestSMRBench:
+    def test_single_cell_structure(self):
+        row = run_smr_bench("uniform", "sync", 4, txns=40, batch=5)
+        assert row.workload == "uniform" and row.scenario == "sync" and row.n == 4
+        assert row.txns == 40
+        assert row.committed == 40  # liveness at tiny scale
+        # The pipeline cannot beat the finality window, and percentile
+        # ordering must hold.
+        assert 2.0 <= row.p50 <= row.p95 <= row.p99
+        assert row.txns_per_sec > 0
+        assert row.txns_per_delay > 0
+        assert row.blocks_per_delay > 0
+        assert row.mempool_peak >= 5
+
+    def test_crash_recovery_excludes_faulty_from_committed(self):
+        row = run_smr_bench("hotkey", "crash-recovery", 4, txns=30, batch=5)
+        assert row.committed == 30
+        assert row.p99 >= row.p50
+
+    def test_report_renders_every_column(self):
+        row = run_smr_bench("bursty", "sync", 4, txns=25, batch=5)
+        text = format_smr_report([row])
+        for column in ("workload", "p50(Δ)", "txn/s", "blk/Δ", "mp-peak"):
+            assert column in text
+
+    def test_build_workload_shapes(self):
+        assert build_workload("uniform", 40, 5).count == 40
+        bursty = build_workload("bursty", 100, 5)
+        assert bursty.bursts * bursty.burst_size == 100
+        assert build_workload("hotkey", 40, 5).count == 40
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("zipfian", 40, 5)

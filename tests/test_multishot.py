@@ -171,6 +171,67 @@ class TestChainState:
         assert chain.is_notarized(0, GENESIS_DIGEST)
         assert not chain.is_notarized(0, "other")
 
+    def test_finalized_slot_index_answers_notarization_queries(self):
+        """Finalized blocks stay notarized via the slot index — even
+        after the raw notarization sets for their slots are pruned."""
+        store = BlockStore()
+        chain = ChainState(store)
+        blocks = self._linked_blocks(8)
+        for block in blocks:
+            store.add(block)
+            chain.notarize(block.slot, block.digest)
+        assert chain.finalized_height == 5
+        for block in blocks[:5]:
+            assert chain.is_notarized(block.slot, block.digest)
+        chain.prune_below(5)
+        for block in blocks[:5]:
+            assert chain.is_notarized(block.slot, block.digest)
+            assert not chain.is_notarized(block.slot, "someone-else")
+        assert chain.notarized_digests(2) == set()  # raw set pruned
+
+    def test_finalization_appends_suffix_not_rebuild(self):
+        """Finalizing more blocks extends the same list object (the
+        incremental path) instead of replacing it wholesale."""
+        store = BlockStore()
+        chain = ChainState(store)
+        blocks = self._linked_blocks(7)
+        for block in blocks:
+            store.add(block)
+        for block in blocks[:4]:
+            chain.notarize(block.slot, block.digest)
+        finalized_list = chain.finalized
+        assert [b.slot for b in finalized_list] == [1]
+        for block in blocks[4:]:
+            chain.notarize(block.slot, block.digest)
+        assert chain.finalized is finalized_list
+        assert [b.slot for b in finalized_list] == [1, 2, 3, 4]
+
+    def test_notarization_gap_above_frontier_is_harmless(self):
+        """A notarization far above the frontier (its ancestors'
+        notarizations missing) finalizes nothing and later catches up."""
+        store = BlockStore()
+        chain = ChainState(store)
+        blocks = self._linked_blocks(9)
+        for block in blocks:
+            store.add(block)
+        assert chain.notarize(9, blocks[8].digest) == []
+        for block in blocks[:8]:
+            chain.notarize(block.slot, block.digest)
+        # With the gap filled, the full prefix finalizes: 9 - 3 = 6.
+        assert chain.finalized_height == 6
+
+    def test_stale_low_notarization_after_finalization_is_ignored(self):
+        store = BlockStore()
+        chain = ChainState(store)
+        blocks = self._linked_blocks(6)
+        for block in blocks:
+            store.add(block)
+            chain.notarize(block.slot, block.digest)
+        assert chain.finalized_height == 3
+        # Re-notarizing an already-final slot's digest adds nothing.
+        assert chain.notarize(1, blocks[0].digest) == []
+        assert chain.finalized_height == 3
+
 
 class TestMultiShotGoodCase:
     def test_one_block_per_delay(self):

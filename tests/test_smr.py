@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import ProtocolConfig
 from repro.multishot import MultiShotConfig
+from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore
 from repro.sim import (
     PartialSynchronyPolicy,
     Simulation,
@@ -13,7 +14,14 @@ from repro.sim import (
     TargetedDropPolicy,
     silence_nodes,
 )
-from repro.smr import KVCommandError, KVStore, Mempool, Replica, Transaction
+from repro.smr import (
+    InFlightIndex,
+    KVCommandError,
+    KVStore,
+    Mempool,
+    Replica,
+    Transaction,
+)
 
 
 class TestMempool:
@@ -50,6 +58,118 @@ class TestMempool:
             pool.add(Transaction(f"t{k}", ("noop",)))
         batch = pool.next_batch(exclude=frozenset({"t0", "t1"}))
         assert [t.txid for t in batch] == ["t2", "t3"]
+
+    def test_excluded_txns_parked_in_in_flight_index(self):
+        """Excluded txns move to the in-flight index: later proposals
+        do not re-walk them at the head of the queue."""
+        pool = Mempool(max_batch=2)
+        for k in range(4):
+            pool.add(Transaction(f"t{k}", ("noop",)))
+        pool.next_batch(exclude=frozenset({"t0", "t1"}))
+        assert pool.in_flight_count == 2
+        assert pool.pending_count == 4  # in flight still counts as queued
+        # Same exclusions again: already parked, nothing to rescan.
+        batch = pool.next_batch(exclude=frozenset({"t0", "t1"}))
+        assert [t.txid for t in batch] == ["t2", "t3"]
+        assert pool.in_flight_count == 2
+
+    def test_aborted_in_flight_released_in_fifo_position(self):
+        """When an exclusion disappears (block aborted by a view
+        change), the txn re-enters the proposable queue in its original
+        FIFO position, ahead of later submissions."""
+        pool = Mempool(max_batch=4)
+        for k in range(3):
+            pool.add(Transaction(f"t{k}", ("noop",)))
+        pool.next_batch(exclude=frozenset({"t0"}))
+        pool.add(Transaction("t3", ("noop",)))
+        batch = pool.next_batch()  # t0's block aborted: no exclusions
+        assert [t.txid for t in batch] == ["t0", "t1", "t2", "t3"]
+        assert pool.in_flight_count == 0
+
+    def test_finalization_clears_in_flight(self):
+        pool = Mempool(max_batch=2)
+        for k in range(3):
+            pool.add(Transaction(f"t{k}", ("noop",)))
+        pool.next_batch(exclude=frozenset({"t0"}))
+        pool.mark_finalized(["t0"])
+        assert pool.in_flight_count == 0
+        assert pool.pending_count == 2
+        assert pool.is_finalized("t0")
+        assert not pool.add(Transaction("t0", ("noop",)))
+
+    def test_duplicate_rejected_while_in_flight(self):
+        pool = Mempool(max_batch=2)
+        pool.add(Transaction("t0", ("noop",)))
+        pool.next_batch(exclude=frozenset({"t0"}))
+        assert pool.in_flight_count == 1
+        assert not pool.add(Transaction("t0", ("noop",)))
+
+
+def _payload_block(slot: int, parent: str, txids: list[str]) -> Block:
+    payload = tuple(Transaction(txid, ("noop",)) for txid in txids)
+    return Block.create(slot, parent, payload)
+
+
+class TestInFlightIndex:
+    def test_collects_unfinalized_lineage(self):
+        store = BlockStore()
+        index = InFlightIndex(store)
+        b1 = _payload_block(1, GENESIS_DIGEST, ["a", "b"])
+        b2 = _payload_block(2, b1.digest, ["c"])
+        store.add(b1)
+        store.add(b2)
+        assert index.txids_on(b2.digest) == {"a", "b", "c"}
+        assert index.txids_on(b1.digest) == {"a", "b"}
+        assert index.txids_on(GENESIS_DIGEST) == set()
+
+    def test_walk_stops_at_finalized_frontier(self):
+        store = BlockStore()
+        index = InFlightIndex(store)
+        b1 = _payload_block(1, GENESIS_DIGEST, ["a"])
+        b2 = _payload_block(2, b1.digest, ["b"])
+        b3 = _payload_block(3, b2.digest, ["c"])
+        for block in (b1, b2, b3):
+            store.add(block)
+        index.mark_finalized(b1)
+        # a left the pool at finalization; only the unfinalized suffix counts.
+        assert index.txids_on(b3.digest) == {"b", "c"}
+        index.mark_finalized(b2)
+        assert index.txids_on(b3.digest) == {"c"}
+
+    def test_missing_body_truncates_walk(self):
+        store = BlockStore()
+        index = InFlightIndex(store)
+        b1 = _payload_block(1, GENESIS_DIGEST, ["a"])
+        b2 = _payload_block(2, b1.digest, ["b"])
+        store.add(b2)  # b1's body never arrived
+        assert index.txids_on(b2.digest) == {"b"}
+
+    def test_non_smr_payloads_contribute_nothing(self):
+        store = BlockStore()
+        index = InFlightIndex(store)
+        block = Block.create(1, GENESIS_DIGEST, "opaque-payload")
+        store.add(block)
+        assert index.txids_on(block.digest) == set()
+
+    def test_frontier_and_cache_stay_bounded(self):
+        """Finalization prunes frontier/cache entries behind the
+        retention horizon: memory does not grow with chain length."""
+        store = BlockStore()
+        index = InFlightIndex(store)
+        parent = GENESIS_DIGEST
+        chain_len = 3 * InFlightIndex.RETENTION_SLOTS
+        for slot in range(1, chain_len + 1):
+            block = _payload_block(slot, parent, [f"t{slot}"])
+            store.add(block)
+            index.txids_on(block.digest)  # populate the cache
+            index.mark_finalized(block)
+            parent = block.digest
+        assert len(index._finalized) <= InFlightIndex.RETENTION_SLOTS + 1
+        assert len(index._by_digest) <= InFlightIndex.RETENTION_SLOTS + 1
+        # The frontier tip still terminates walks from fresh children.
+        child = _payload_block(chain_len + 1, parent, ["fresh"])
+        store.add(child)
+        assert index.txids_on(child.digest) == {"fresh"}
 
 
 class TestKVStore:
@@ -178,3 +298,70 @@ class TestReplicaIntegration:
             )
             digests = {r.state_digest() for r in replicas}
             assert len(digests) == 1, f"seed {seed}: divergent state"
+
+
+class _DuplicatingReplica(Replica):
+    """A replica that never excludes in-flight transactions.
+
+    Protocol-legal but wasteful: every proposal re-includes whatever is
+    pending, so a transaction re-proposed after (or even without) a
+    view change lands in several finalized blocks — exactly the
+    situation the execute-once dedup ledger exists for.
+    """
+
+    def _make_payload(self, slot: int, parent: str) -> object:
+        del slot, parent
+        return self.mempool.next_batch()
+
+
+class TestExecuteOnce:
+    def test_duplicate_across_finalized_blocks_unit(self):
+        """First execution wins when two finalized blocks share a txn."""
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=8)
+        replica = Replica(0, config, max_batch=5)
+        shared = Transaction("dup", ("incr", "x", 1))
+        b1 = Block.create(1, GENESIS_DIGEST, (shared,))
+        b2 = Block.create(2, b1.digest, (shared, Transaction("t2", ("incr", "x", 1))))
+        replica._execute_block(b1)
+        replica._execute_block(b2)
+        assert replica.store.get("x") == 2  # dup applied once, t2 once
+        assert replica.store.applied_txids == ["dup", "t2"]
+
+    def test_reproposed_txn_applies_exactly_once_cluster_wide(self):
+        """A transaction appearing in two finalized blocks (re-proposed
+        around a view change by proposers that skip in-flight exclusion)
+        executes exactly once on every replica."""
+        n, txns = 4, 12
+        config = MultiShotConfig(base=ProtocolConfig.create(n), max_slots=20)
+        # Silencing node 3 (leader of slot 3) early forces a view change
+        # mid-chain, so pending txns are re-proposed across it.
+        policy = TargetedDropPolicy(
+            SynchronousDelays(1.0), silence_nodes([3]), end=25.0
+        )
+        sim = Simulation(policy)
+        replicas = [_DuplicatingReplica(i, config, max_batch=6) for i in range(n)]
+        for replica in replicas:
+            sim.add_node(replica)
+        for k in range(txns):
+            for replica in replicas:
+                replica.submit(Transaction(f"tx{k}", ("incr", f"key{k % 3}", 1)))
+        sim.run(until=200.0)
+        # The duplication premise actually holds: some transaction sits
+        # in more than one finalized block.
+        reference = replicas[0]
+        seen: dict[str, int] = {}
+        for block in reference.finalized_chain:
+            if isinstance(block.payload, tuple):
+                for txn in block.payload:
+                    if isinstance(txn, Transaction):
+                        seen[txn.txid] = seen.get(txn.txid, 0) + 1
+        assert any(count >= 2 for count in seen.values()), (
+            "expected at least one txn re-proposed into two finalized blocks"
+        )
+        # Execute-once: applied exactly once, identically, everywhere.
+        for replica in replicas:
+            assert replica.store.applied_count == txns
+            applied = replica.store.applied_txids
+            assert len(applied) == len(set(applied))
+        assert len({r.state_digest() for r in replicas}) == 1
+        assert len({r.store.applied_count for r in replicas}) == 1

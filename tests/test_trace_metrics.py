@@ -83,6 +83,15 @@ class TestMessageMetrics:
         assert estimate_wire_size((1, 2, 3)) == 24
         assert estimate_wire_size(None) == 1
 
+    def test_wire_size_dict_recurses(self):
+        """Regression: dicts used to be flat-charged 8 bytes, badly
+        undercounting dict-carrying messages."""
+        assert estimate_wire_size({"ab": 1}) == 2 + 8
+        assert estimate_wire_size({"k": (1, 2), "xyz": "ab"}) == (1 + 16) + (3 + 2)
+        assert estimate_wire_size({}) == 0
+        # Nested containers keep recursing through the dict.
+        assert estimate_wire_size(({"a": 1}, 2)) == (1 + 8) + 8
+
 
 class TestLatencyMetrics:
     def test_first_decision_wins(self):
@@ -119,3 +128,56 @@ class TestStorageMetrics:
         assert metrics.max_storage(0) == 30
         assert metrics.max_storage() == 30
         assert metrics.max_storage(2) == 0
+
+
+class TestSMRTrackers:
+    def test_latency_percentiles_in_message_delays(self):
+        from repro.metrics import LatencyTracker
+
+        tracker = LatencyTracker()
+        for k in range(100):
+            tracker.record_submit(f"t{k}", 0.0)
+            tracker.record_commit(0, f"t{k}", float(k + 1))
+        percentiles = tracker.percentiles(delta=2.0)
+        assert percentiles[50] == 25.0  # 50th of 1..100, in units of Δ=2
+        assert percentiles[95] == 47.5
+        assert percentiles[99] == 49.5
+
+    def test_latency_first_submit_wins_and_untracked_commit_ignored(self):
+        from repro.metrics import LatencyTracker
+        import math
+
+        tracker = LatencyTracker()
+        tracker.record_submit("t", 1.0)
+        tracker.record_submit("t", 5.0)  # same txn at another replica
+        tracker.record_commit(0, "t", 4.0)
+        tracker.record_commit(1, "ghost", 4.0)  # never submitted
+        assert tracker.sample_count == 1
+        assert tracker.percentiles()[50] == 3.0
+        assert all(math.isnan(v) for v in LatencyTracker().percentiles().values())
+
+    def test_throughput_cluster_minimums_and_peak(self):
+        from repro.metrics import ThroughputTracker
+
+        tracker = ThroughputTracker()
+        tracker.record_block(0, 1, 10, 40, 5.0)
+        tracker.record_block(0, 2, 10, 25, 6.0)
+        tracker.record_block(1, 1, 10, 55, 5.0)
+        assert tracker.txns_applied(0) == 20
+        assert tracker.min_txns_applied([0, 1]) == 10
+        assert tracker.min_blocks_applied([0, 1]) == 1
+        assert tracker.peak_mempool([0, 1]) == 55
+        assert tracker.peak_mempool([0]) == 40
+        assert tracker.last_commit_time == 6.0
+        assert tracker.min_txns_applied([]) == 0
+
+    def test_submit_side_mempool_samples_raise_the_peak(self):
+        """Regression: the peak must be visible from submit-time
+        samples — sampling only after a block's drain undercounts the
+        backlog a burst creates."""
+        from repro.metrics import ThroughputTracker
+
+        tracker = ThroughputTracker()
+        tracker.record_mempool(0, 50)  # burst lands
+        tracker.record_block(0, 1, 10, 40, 5.0)  # sampled after drain
+        assert tracker.peak_mempool([0]) == 50

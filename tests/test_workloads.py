@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core import ProtocolConfig
+from repro.errors import ConfigurationError
 from repro.multishot import MultiShotConfig
 from repro.sim import Simulation, SynchronousDelays
 from repro.smr import Replica
@@ -98,3 +101,37 @@ class TestInjection:
         sim.run(until=60)
         # Only replica 2's mempool had them, but execution reaches all.
         assert all(r.store.applied_count == 10 for r in replicas)
+
+    def _cluster(self, n: int = 4):
+        config = MultiShotConfig(base=ProtocolConfig.create(n), max_slots=16)
+        sim = Simulation(SynchronousDelays(1.0))
+        replicas = [Replica(i, config, max_batch=5) for i in range(n)]
+        for replica in replicas:
+            sim.add_node(replica)
+        return sim, replicas
+
+    def test_unknown_target_id_rejected(self):
+        """A typo in targets used to inject to *zero* replicas and let a
+        liveness run pass vacuously; now it is a configuration error."""
+        sim, replicas = self._cluster()
+        workload = UniformWorkload(count=5, rate=10.0, seed=1)
+        with pytest.raises(ConfigurationError, match="unknown replica ids \\[7\\]"):
+            workload.inject(sim, replicas, targets=[7])
+
+    def test_partially_unknown_targets_rejected(self):
+        sim, replicas = self._cluster()
+        workload = UniformWorkload(count=5, rate=10.0, seed=1)
+        with pytest.raises(ConfigurationError, match="unknown replica ids"):
+            workload.inject(sim, replicas, targets=[0, 99])
+
+    def test_empty_target_set_rejected(self):
+        sim, replicas = self._cluster()
+        workload = UniformWorkload(count=5, rate=10.0, seed=1)
+        with pytest.raises(ConfigurationError, match="at least one target"):
+            workload.inject(sim, replicas, targets=[])
+
+    def test_empty_replica_list_rejected(self):
+        sim, _ = self._cluster()
+        workload = UniformWorkload(count=5, rate=10.0, seed=1)
+        with pytest.raises(ConfigurationError, match="at least one target"):
+            workload.inject(sim, [])
