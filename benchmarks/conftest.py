@@ -6,11 +6,67 @@ wins, by what factor, where growth exponents land — while
 pytest-benchmark records the wall-clock cost of the regeneration.
 Benches run each experiment once (``rounds=1``): the experiments are
 deterministic simulations, so repetition would measure nothing new.
+
+The smoke runs additionally persist machine-readable perf records —
+``BENCH_scaling.json`` and ``BENCH_smr.json`` at the repo root — via
+the ``bench_record`` fixture, so the per-PR perf trajectory
+(events/sec, txns/sec, latency percentiles per cell) is captured as
+data, not just log text.  Each test merges its own key into the file,
+leaving records written by other tests in place.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record_bench(stem: str, key: str, payload: object) -> None:
+    """Merge ``payload`` under ``key`` into ``BENCH_<stem>.json``."""
+    path = _REPO_ROOT / f"BENCH_{stem}.json"
+    try:
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict):
+            data = {}
+    except (OSError, ValueError):
+        data = {}
+    data[key] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture
+def bench_record():
+    """The perf-record writer (a fixture so tests need no path logic)."""
+    return record_bench
+
+
+def smr_row_record(row) -> dict:
+    """One SMRRow as a BENCH_smr.json cell (shared by the A4/A5 benches
+    so both emit the same schema)."""
+    return {
+        "engine": row.engine,
+        "workload": row.workload,
+        "scenario": row.scenario,
+        "n": row.n,
+        "txns": row.txns,
+        "committed": row.committed,
+        "p50_delays": row.p50,
+        "p95_delays": row.p95,
+        "p99_delays": row.p99,
+        "txns_per_sec": row.txns_per_sec,
+        "txns_per_delay": row.txns_per_delay,
+        "mempool_peak": row.mempool_peak,
+    }
+
+
+@pytest.fixture
+def row_record():
+    """The SMRRow serializer, as a fixture for the same reason."""
+    return smr_row_record
 
 
 def pytest_configure(config):

@@ -61,7 +61,7 @@ def test_scaling_exponents(once):
     assert pbft.total_bytes[-1] > 4 * by_name["tetrabft"].total_bytes[-1]
 
 
-def test_throughput_sweep_reaches_n128(once):
+def test_throughput_sweep_reaches_n128(once, bench_record):
     rows = once(run_throughput)
     print()
     print(format_throughput_report(rows))
@@ -72,6 +72,21 @@ def test_throughput_sweep_reaches_n128(once):
         # 2M-event budget — including the n=128 runs.
         assert row.decided, (row.scenario, row.n)
         assert row.events < 2_000_000, (row.scenario, row.n)
+    bench_record(
+        "scaling",
+        "throughput",
+        [
+            {
+                "scenario": row.scenario,
+                "n": row.n,
+                "events": row.events,
+                "wall_seconds": row.wall_seconds,
+                "events_per_sec": row.events_per_sec,
+                "decided": row.decided,
+            }
+            for row in rows
+        ],
+    )
 
 
 # --- seed-scheduler replica for the 2× micro-benchmark -----------------
@@ -198,7 +213,7 @@ def _best_of(fn, repeats=3):
     return max(fn() for _ in range(repeats))
 
 
-def test_event_core_at_least_2x_seed_scheduler(benchmark):
+def test_event_core_at_least_2x_seed_scheduler(benchmark, bench_record):
     n, rounds = 64, 6
 
     def seed_eps():
@@ -217,6 +232,15 @@ def test_event_core_at_least_2x_seed_scheduler(benchmark):
     )
     print(f"\nseed scheduler: {seed:,.0f} events/s   "
           f"tuple-heap core: {new:,.0f} events/s   ratio {new / seed:.2f}x")
+    bench_record(
+        "scaling",
+        "event_core_2x",
+        {
+            "seed_events_per_sec": seed,
+            "events_per_sec": new,
+            "ratio": new / seed,
+        },
+    )
     assert new >= 2.0 * seed, (
         f"event core regressed: {new:,.0f} vs seed {seed:,.0f} events/s "
         f"({new / seed:.2f}x, need >= 2x)"

@@ -70,12 +70,21 @@ def run_smr(n: int = 4, txns: int = 200, batch: int = 10) -> dict:
     }
 
 
-def test_smr_throughput(once):
+def test_smr_throughput(once, bench_record):
     result = once(run_smr, n=4, txns=200, batch=10)
     print()
     print(
         f"applied={result['applied']} over t={result['duration']} "
         f"=> {result['throughput']:.1f} txn/delay"
+    )
+    bench_record(
+        "smr",
+        "end_to_end_n4",
+        {
+            "txns": 200,
+            "sim_duration": result["duration"],
+            "txns_per_delay": result["throughput"],
+        },
     )
     # Determinism: every replica ends in the same state.
     assert len(result["digests"]) == 1
@@ -86,7 +95,7 @@ def test_smr_throughput(once):
     assert result["throughput"] > 3.0
 
 
-def test_smr_latency_smoke(once):
+def test_smr_latency_smoke(once, bench_record, row_record):
     """Tier-1 slice of A4: n=4, every workload × scenario, tiny load."""
     rows = once(run_smr_smoke)
     print()
@@ -102,6 +111,7 @@ def test_smr_latency_smoke(once):
         # 4-slot window, so no commit can beat ~4 message delays; the
         # crash-recovery scenario pays view-change stalls on top.
         assert row.p50 >= 2.0, (row.workload, row.scenario)
+    bench_record("smr", "smr_smoke", [row_record(row) for row in rows])
 
 
 @heavy
@@ -329,7 +339,7 @@ def _best_of(fn, repeats: int = 3) -> dict:
     return max(results, key=lambda r: r["txns_per_sec"])
 
 
-def test_indexed_smr_path_at_least_2x_seed(benchmark):
+def test_indexed_smr_path_at_least_2x_seed(benchmark, bench_record):
     slots, batch = 240, 50
     feed = _bursty_feed(slots, batch)
 
@@ -353,6 +363,15 @@ def test_indexed_smr_path_at_least_2x_seed(benchmark):
         f"\nseed SMR path: {seed['txns_per_sec']:,.0f} txn/s   "
         f"indexed path: {indexed['txns_per_sec']:,.0f} txn/s   "
         f"ratio {indexed['txns_per_sec'] / seed['txns_per_sec']:.2f}x"
+    )
+    bench_record(
+        "smr",
+        "smr_hot_path_2x",
+        {
+            "seed_txns_per_sec": seed["txns_per_sec"],
+            "txns_per_sec": indexed["txns_per_sec"],
+            "ratio": indexed["txns_per_sec"] / seed["txns_per_sec"],
+        },
     )
     # Same schedule, same feed: the refactor must not change a single
     # committed byte...

@@ -51,13 +51,21 @@ from repro.sim import (
     SynchronousDelays,
     UniformRandomDelays,
 )
-from repro.smr import KVStore, Mempool, Replica, Transaction
+from repro.smr import (
+    ConsensusEngine,
+    KVStore,
+    Mempool,
+    Replica,
+    Transaction,
+    engine_factory,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Block",
     "ConfigurationError",
+    "ConsensusEngine",
     "FBAQuorumSystem",
     "GENESIS_VIEW",
     "KVStore",
@@ -83,4 +91,5 @@ __all__ = [
     "VerificationError",
     "VoteStorage",
     "__version__",
+    "engine_factory",
 ]

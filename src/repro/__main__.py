@@ -6,19 +6,30 @@ regenerated without remembering module paths:
     python -m repro table1
     python -m repro fig2
     python -m repro smr
+    python -m repro engines
     python -m repro all
 
 ``smr`` is the end-to-end state-machine-replication experiment: full
 replica clusters under the seeded Uniform/Bursty/HotKey workloads and
 the sync/geo/crash-recovery network scenarios, reporting client-observed
 commit latency percentiles and commit throughput.
+
+``engines`` is the cross-protocol matrix: the same SMR client path run
+over every pluggable consensus engine — pipelined TetraBFT (the
+reference), plus PBFT, IT-HotStuff and Li et al. as multi-slot chained
+engines — one latency/throughput row per engine × workload cell.  The
+default run is the tier-1 smoke slice (sync network, n=4); set
+``REPRO_HEAVY=1`` for the full engine × workload × scenario × n grid.
+
+Exit status: 0 on success (including ``-h``/``--help``), 1 on bad
+usage or an unknown experiment name.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.eval import fig1_lemmas, fig2_pipeline, fig3_viewchange
+from repro.eval import engine_matrix, fig1_lemmas, fig2_pipeline, fig3_viewchange
 from repro.eval import hardening_ablation, responsiveness, scaling
 from repro.eval import smr_bench, table1, timeout_ablation, verification_run
 
@@ -33,6 +44,7 @@ EXPERIMENTS = {
     "timeout": (timeout_ablation.main, "A3 — 9Δ timeout justification"),
     "hardening": (hardening_ablation.main, "Ablation — liveness hardening"),
     "smr": (smr_bench.main, "A4 — SMR client latency / throughput"),
+    "engines": (engine_matrix.main, "A5 — cross-engine SMR matrix"),
 }
 
 
@@ -46,9 +58,13 @@ def usage() -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
-    if len(args) != 1 or args[0] in ("-h", "--help"):
+    if any(arg in ("-h", "--help") for arg in args):
+        # Asking for help is not an error.
         print(usage())
-        return 0 if args and args[0] in ("-h", "--help") else 2
+        return 0
+    if len(args) != 1:
+        print(usage(), file=sys.stderr)
+        return 1
     name = args[0]
     if name == "all":
         for key, (fn, description) in EXPERIMENTS.items():
@@ -57,7 +73,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}\n\n{usage()}", file=sys.stderr)
-        return 2
+        return 1
     EXPERIMENTS[name][0]()
     return 0
 

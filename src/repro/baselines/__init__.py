@@ -10,6 +10,7 @@ from repro.baselines.base import (
     PreRound,
     RoundKind,
 )
+from repro.baselines.chained import CatchUp, ChainedEngine, SlotMessage
 from repro.baselines.ithotstuff import IT_HS_SPEC, ITHotStuffNode
 from repro.baselines.ithotstuff_blog import IT_HS_BLOG_SPEC, ITHotStuffBlogNode
 from repro.baselines.li import LI_SPEC, LiNode
@@ -26,7 +27,9 @@ __all__ = [
     "BRound",
     "BViewChange",
     "BaselineSpec",
+    "CatchUp",
     "ChainVotingNode",
+    "ChainedEngine",
     "IT_HS_BLOG_SPEC",
     "IT_HS_SPEC",
     "ITHotStuffBlogNode",
@@ -39,4 +42,5 @@ __all__ = [
     "PBFT_UNBOUNDED_SPEC",
     "PreRound",
     "RoundKind",
+    "SlotMessage",
 ]

@@ -6,6 +6,10 @@ experiment-id ↔ module mapping lives in DESIGN.md §3; measured-vs-paper
 results are recorded in EXPERIMENTS.md.
 """
 
+from repro.eval.engine_matrix import (
+    run_engine_matrix,
+    run_engine_smoke,
+)
 from repro.eval.fig1_lemmas import LemmaChainResult, run_lemma_chain
 from repro.eval.fig2_pipeline import PipelineResult, run_pipeline
 from repro.eval.fig3_viewchange import ViewChangeResult, run_viewchange
@@ -27,6 +31,8 @@ __all__ = [
     "TimeoutPoint",
     "VerificationSummary",
     "ViewChangeResult",
+    "run_engine_matrix",
+    "run_engine_smoke",
     "run_lemma_chain",
     "run_pipeline",
     "run_responsiveness",

@@ -1,0 +1,121 @@
+"""Experiment A5 — cross-protocol SMR matrix over pluggable engines.
+
+The paper's headline claims are comparative, but Table 1 compares the
+protocols analytically (message delays, bits, storage) and the other
+experiments run them as bare single-shot machines.  This experiment
+runs the *same end-to-end client path* — mempool, in-flight dedup,
+deterministic execution, state digests — over every consensus engine
+behind the :class:`~repro.smr.engine.ConsensusEngine` boundary:
+
+* ``tetrabft`` — the pipelined Multi-shot reference engine (one block
+  per message delay in the good case);
+* ``pbft`` / ``ithotstuff`` / ``li`` — the Table 1 baselines promoted
+  to multi-slot :class:`~repro.baselines.chained.ChainedEngine`\\ s
+  (one block per good-case round trip: 3Δ, 6Δ and 6Δ respectively).
+
+Each cell of the matrix is one full cluster run under the seeded
+Uniform / Bursty / HotKey workloads and the sync / geo / crash-recovery
+scenario policies, reporting client-observed p50/p95/p99 commit latency
+(in message delays) and commit throughput — the numbers that turn the
+paper's "fewer message delays" column into end-to-end wins: TetraBFT's
+pipelining should hold commit latency near the finality window and
+throughput near one batch per delay, while the chained baselines pay
+their full phase ladder per block and queue under the same offered
+load.
+
+``python -m repro engines`` prints the tier-1 smoke slice (every
+engine × every workload, synchronous network, n=4); set
+``REPRO_HEAVY=1`` for the full engine × workload × scenario × n grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.eval.report import format_table
+from repro.eval.smr_bench import SMR_SCENARIOS, SMRRow, WORKLOAD_NAMES, run_smr_bench
+from repro.smr import ENGINE_NAMES
+
+#: Cluster sizes of the full matrix (the chained baselines pay a full
+#: phase ladder of n² messages per block, so the grid stays below the
+#: A4 sweep's n=64 to keep the heavy run inside the event budget).
+MATRIX_NS = (4, 16)
+
+
+def run_engine_matrix(
+    engines: tuple[str, ...] = ENGINE_NAMES,
+    ns: tuple[int, ...] = MATRIX_NS,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    scenarios: tuple[str, ...] = SMR_SCENARIOS,
+    txns: int = 200,
+    batch: int = 20,
+) -> list[SMRRow]:
+    """The engine × workload × scenario × n grid, one full run per cell."""
+    return [
+        run_smr_bench(
+            workload, scenario, n, txns=txns, batch=batch, engine=engine
+        )
+        for engine in engines
+        for workload in workloads
+        for scenario in scenarios
+        for n in ns
+    ]
+
+
+def run_engine_smoke(txns: int = 60, batch: int = 10) -> list[SMRRow]:
+    """The tier-1 slice: every engine × workload, sync network, n=4."""
+    return run_engine_matrix(
+        ns=(4,), scenarios=("sync",), txns=txns, batch=batch
+    )
+
+
+def format_engine_report(rows: list[SMRRow]) -> str:
+    return format_table(
+        [
+            {
+                "engine": row.engine,
+                "workload": row.workload,
+                "scenario": row.scenario,
+                "n": row.n,
+                "txns": row.txns,
+                "committed": row.committed,
+                "p50(Δ)": row.p50,
+                "p95(Δ)": row.p95,
+                "p99(Δ)": row.p99,
+                "txn/s": row.txns_per_sec,
+                "txn/Δ": row.txns_per_delay,
+                "blk/Δ": row.blocks_per_delay,
+                "mp-peak": row.mempool_peak,
+            }
+            for row in rows
+        ],
+        columns=[
+            "engine",
+            "workload",
+            "scenario",
+            "n",
+            "txns",
+            "committed",
+            "p50(Δ)",
+            "p95(Δ)",
+            "p99(Δ)",
+            "txn/s",
+            "txn/Δ",
+            "blk/Δ",
+            "mp-peak",
+        ],
+        title="A5 — cross-engine SMR latency / throughput (shared client path)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    if os.environ.get("REPRO_HEAVY"):
+        rows = run_engine_matrix()
+    else:
+        rows = run_engine_smoke()
+        print("(smoke slice: sync scenario, n=4 — REPRO_HEAVY=1 for the full grid)")
+    print(format_engine_report(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

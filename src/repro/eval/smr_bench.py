@@ -35,9 +35,8 @@ from repro.core import ProtocolConfig
 from repro.eval.report import format_table
 from repro.eval.scaling import scenario_policy
 from repro.metrics.smr_trackers import SMRTrackers
-from repro.multishot import MultiShotConfig
 from repro.sim import Simulation
-from repro.smr import Replica
+from repro.smr import Replica, engine_factory
 from repro.workloads import (
     BurstyWorkload,
     HotKeyWorkload,
@@ -96,6 +95,7 @@ class SMRRow:
     sim_duration: float
     blocks: int
     mempool_peak: int
+    engine: str = "tetrabft"
 
     @property
     def txns_per_sec(self) -> float:
@@ -124,8 +124,14 @@ def run_smr_bench(
     batch: int = 25,
     seed: int = 0,
     horizon: float = 400.0,
+    engine: str = "tetrabft",
 ) -> SMRRow:
     """One full SMR run: n replicas, one workload, one network scenario.
+
+    ``engine`` selects the consensus engine behind the replicas (see
+    :data:`repro.smr.ENGINE_NAMES`) — the default is the pipelined
+    TetraBFT reference engine, wired through the
+    :class:`~repro.smr.engine.ConsensusEngine` boundary.
 
     Message byte accounting is switched off (as in the throughput
     sweep): the measured object is the SMR pipeline, not the wire-size
@@ -135,15 +141,18 @@ def run_smr_bench(
     """
     policy, excluded = scenario_policy(scenario, n, seed=seed)
     slots_needed = txns // batch
-    config = MultiShotConfig(
-        base=ProtocolConfig.create(n),
-        max_slots=slots_needed + 40,
-    )
+    # TetraBFT pipelines one slot per delay and needs slack for the
+    # never-finalizing tail window; chained engines finalize each slot
+    # on decision but may burn slots on empty blocks between bursts, so
+    # they get an uncapped chain bounded by the horizon instead.
+    max_slots = slots_needed + 40 if engine == "tetrabft" else None
+    factory = engine_factory(engine, ProtocolConfig.create(n), max_slots=max_slots)
     sim = Simulation(policy)
     sim.metrics.messages.enabled = False
     trackers = SMRTrackers()
     replicas = [
-        Replica(i, config, max_batch=batch, trackers=trackers) for i in range(n)
+        Replica(i, max_batch=batch, trackers=trackers, engine_factory=factory)
+        for i in range(n)
     ]
     sim.add_nodes(list(replicas))
     workload = build_workload(workload_name, txns, batch, seed=seed)
@@ -162,6 +171,7 @@ def run_smr_bench(
     wall = time.perf_counter() - start
     percentiles = trackers.latency.percentiles(delta=DELTA)
     return SMRRow(
+        engine=engine,
         workload=workload_name,
         scenario=scenario,
         n=n,

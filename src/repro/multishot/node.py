@@ -28,6 +28,14 @@ Protocol flow implemented here:
   single-shot).  Slots never previously started still begin at view 0,
   exactly as slot 4 does in the paper's Fig. 3.
 
+:class:`MultiShotNode` is also the **reference implementation** of the
+SMR layer's :class:`~repro.smr.engine.ConsensusEngine` boundary: it
+satisfies the protocol structurally (``start``/``receive``/``store``/
+``finalized_chain`` plus the constructor's payload and finalization
+hooks), and :func:`repro.smr.engine.multishot_engine` wires it behind a
+:class:`~repro.smr.replica.Replica` byte-for-byte as the replica used
+to construct it directly.
+
 Documented deviation: when recording the ancestor phases of a vote
 into the per-slot :class:`VoteStorage`, a record that would *decrease*
 a phase's view (possible only when lineages from different views

@@ -1,14 +1,28 @@
-"""State-machine replication layer over Multi-shot TetraBFT."""
+"""State-machine replication layer over a pluggable consensus engine."""
 
+from repro.smr.engine import (
+    ENGINE_NAMES,
+    ConsensusEngine,
+    EngineFactory,
+    chained_engine,
+    engine_factory,
+    multishot_engine,
+)
 from repro.smr.kvstore import KVCommandError, KVStore
 from repro.smr.mempool import Mempool, Transaction
 from repro.smr.replica import InFlightIndex, Replica
 
 __all__ = [
+    "ConsensusEngine",
+    "ENGINE_NAMES",
+    "EngineFactory",
     "InFlightIndex",
     "KVCommandError",
     "KVStore",
     "Mempool",
     "Replica",
     "Transaction",
+    "chained_engine",
+    "engine_factory",
+    "multishot_engine",
 ]

@@ -1,8 +1,12 @@
-"""SMR replica: Multi-shot TetraBFT + mempool + deterministic execution.
+"""SMR replica: a pluggable consensus engine + mempool + execution.
 
 This is the deployment shape the paper's introduction motivates: a
 quasi-permissionless blockchain node.  A :class:`Replica` wraps a
-:class:`~repro.multishot.node.MultiShotNode`; when this replica leads a
+:class:`~repro.smr.engine.ConsensusEngine` — by default the pipelined
+Multi-shot TetraBFT reference engine, or any
+:data:`~repro.smr.engine.EngineFactory` (e.g. the Table 1 baselines as
+:class:`~repro.baselines.chained.ChainedEngine`) so the comparison
+protocols run the identical client path.  When this replica leads a
 slot it proposes a batch from its mempool, and every finalized block's
 transactions are applied, in chain order, to the local
 :class:`~repro.smr.kvstore.KVStore`.
@@ -10,6 +14,9 @@ transactions are applied, in chain order, to the local
 Clients inject transactions with :meth:`submit`; in a simulation,
 spread the same transactions to at least one well-behaved replica and
 Definition 2's liveness says they eventually execute everywhere.
+Submissions may land before the simulation starts; their submit
+timestamps are recorded at the replica's first tick (the earliest
+instant it could have seen them), not at a fictitious ``t=0``.
 
 Proposal-time duplicate avoidance is incremental: an
 :class:`InFlightIndex` caches each block's transaction-id set and walks
@@ -23,10 +30,12 @@ and commit throughput for the ``smr`` experiment.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from repro.metrics.smr_trackers import SMRTrackers
 from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore, Digest
-from repro.multishot.node import MultiShotConfig, MultiShotNode
+from repro.multishot.node import MultiShotConfig
 from repro.quorums.system import NodeId
+from repro.smr.engine import ConsensusEngine, EngineFactory, multishot_engine
 from repro.sim.runner import NodeContext, SimNode
 from repro.smr.kvstore import KVStore
 from repro.smr.mempool import Mempool, Transaction
@@ -114,21 +123,27 @@ class Replica(SimNode):
     def __init__(
         self,
         node_id: NodeId,
-        config: MultiShotConfig,
+        config: MultiShotConfig | None = None,
         max_batch: int = 100,
         trackers: SMRTrackers | None = None,
+        engine_factory: EngineFactory | None = None,
     ) -> None:
+        if engine_factory is None:
+            if config is None:
+                raise ConfigurationError(
+                    "Replica needs a MultiShotConfig (for the default "
+                    "TetraBFT engine) or an explicit engine_factory"
+                )
+            engine_factory = multishot_engine(config)
         self.node_id = node_id
         self.mempool = Mempool(max_batch=max_batch)
         self.store = KVStore()
         self.executed_blocks: list[Block] = []
         self.trackers = trackers
         self._ctx: NodeContext | None = None
-        self.consensus = MultiShotNode(
-            node_id,
-            config,
-            payload_fn=self._make_payload,
-            on_finalize=self._execute_block,
+        self._pre_start_txids: list[str] = []
+        self.consensus: ConsensusEngine = engine_factory(
+            node_id, self._make_payload, self._execute_block
         )
         self.in_flight = InFlightIndex(self.consensus.store)
 
@@ -136,6 +151,13 @@ class Replica(SimNode):
 
     def start(self, ctx: NodeContext) -> None:
         self._ctx = ctx
+        if self._pre_start_txids:
+            # Transactions submitted before the run began: their clock
+            # starts at the replica's first tick, not at a fictitious
+            # t=0 that would silently inflate measured latency.
+            for txid in self._pre_start_txids:
+                self.trackers.record_submit(txid, ctx.now)
+            self._pre_start_txids.clear()
         self.consensus.start(ctx)
 
     def receive(self, sender: NodeId, message: object) -> None:
@@ -147,8 +169,10 @@ class Replica(SimNode):
         """Inject a client transaction into this replica's mempool."""
         accepted = self.mempool.add(txn)
         if accepted and self.trackers is not None:
-            now = self._ctx.now if self._ctx is not None else 0.0
-            self.trackers.record_submit(txn.txid, now)
+            if self._ctx is None:
+                self._pre_start_txids.append(txn.txid)
+            else:
+                self.trackers.record_submit(txn.txid, self._ctx.now)
             self.trackers.record_mempool(self.node_id, self.mempool.pending_count)
         return accepted
 

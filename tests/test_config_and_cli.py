@@ -74,15 +74,34 @@ class TestCLI:
         for name in EXPERIMENTS:
             assert name in text
 
-    def test_no_args_returns_usage_error(self, capsys):
-        assert main([]) == 2
+    def test_engines_experiment_registered(self):
+        assert "engines" in EXPERIMENTS
+        assert "engines" in usage()
+
+    def test_no_args_is_bad_usage(self, capsys):
+        assert main([]) == 1
+        captured = capsys.readouterr()
+        assert "usage" in captured.err
+        assert captured.out == ""
+
+    @pytest.mark.parametrize("flag", ["-h", "--help"])
+    def test_help_exits_zero_on_stdout(self, capsys, flag):
+        assert main([flag]) == 0
+        captured = capsys.readouterr()
+        assert "usage" in captured.out
+        assert captured.err == ""
+
+    def test_help_wins_even_with_extra_args(self, capsys):
+        """`repro smr --help` asks for help, not for the experiment."""
+        assert main(["smr", "--help"]) == 0
         assert "usage" in capsys.readouterr().out
 
-    def test_help_exits_zero(self, capsys):
-        assert main(["--help"]) == 0
+    def test_too_many_args_is_bad_usage(self, capsys):
+        assert main(["smr", "table1"]) == 1
+        assert "usage" in capsys.readouterr().err
 
     def test_unknown_experiment_rejected(self, capsys):
-        assert main(["nope"]) == 2
+        assert main(["nope"]) == 1
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_fig1_runs_end_to_end(self, capsys):

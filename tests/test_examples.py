@@ -1,0 +1,47 @@
+"""Smoke-execute every example script.
+
+The ``examples/`` directory is API surface: it is the code users copy
+first, and interface refactors (like the ConsensusEngine boundary) can
+silently break it because nothing else imports it.  Each script is
+executed in a subprocess exactly as its docstring instructs
+(``python examples/<name>.py``); every one is built on small fast
+configurations (n ≤ 5, short horizons), so the whole sweep stays
+tier-1 sized.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_EXAMPLES = sorted((_REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(_EXAMPLES) >= 5, "examples/ went missing?"
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=_REPO_ROOT,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}:\n{result.stderr[-2000:]}"
+    )
+    # Every example narrates what it demonstrates.
+    assert result.stdout.strip(), f"{script.name} printed nothing"

@@ -300,6 +300,58 @@ class TestReplicaIntegration:
             assert len(digests) == 1, f"seed {seed}: divergent state"
 
 
+class TestPreStartSubmit:
+    """Submissions landing before start() must not be stamped t=0."""
+
+    def _replica_with_trackers(self):
+        from repro.metrics.smr_trackers import SMRTrackers
+
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=4)
+        return Replica(1, config, max_batch=5, trackers=SMRTrackers())
+
+    def test_pre_start_submit_recorded_at_first_tick(self, fake_ctx):
+        replica = self._replica_with_trackers()
+        assert replica.submit(Transaction("early", ("noop",)))
+        # Not yet stamped: the replica has no clock before start().
+        assert "early" not in replica.trackers.latency._submitted
+        fake_ctx.advance(5.0)
+        replica.start(fake_ctx)
+        # Stamped at the first tick, not at a fictitious t=0 that
+        # would inflate the measured submit→commit latency.
+        assert replica.trackers.latency._submitted["early"] == 5.0
+
+    def test_post_start_submit_uses_current_clock(self, fake_ctx):
+        replica = self._replica_with_trackers()
+        replica.start(fake_ctx)
+        fake_ctx.advance(3.0)
+        replica.submit(Transaction("late", ("noop",)))
+        assert replica.trackers.latency._submitted["late"] == 3.0
+
+    def test_mempool_occupancy_still_sampled_pre_start(self):
+        replica = self._replica_with_trackers()
+        replica.submit(Transaction("early", ("noop",)))
+        assert replica.trackers.throughput.peak_mempool([1]) == 1
+
+    def test_pre_start_submits_still_execute(self):
+        """The buffered-stamp path changes accounting only, not liveness."""
+        config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=10)
+        sim = Simulation(SynchronousDelays(1.0))
+        from repro.metrics.smr_trackers import SMRTrackers
+
+        trackers = SMRTrackers()
+        replicas = [
+            Replica(i, config, max_batch=5, trackers=trackers) for i in range(4)
+        ]
+        for replica in replicas:
+            sim.add_node(replica)
+        for k in range(10):
+            for replica in replicas:
+                replica.submit(Transaction(f"tx{k}", ("incr", "x", 1)))
+        sim.run(until=60)
+        assert all(r.store.applied_count == 10 for r in replicas)
+        assert trackers.latency.sample_count > 0
+
+
 class _DuplicatingReplica(Replica):
     """A replica that never excludes in-flight transactions.
 
