@@ -1,0 +1,233 @@
+"""CI regression gate over the committed BENCH_*.json perf records.
+
+The benchmark smoke runs persist machine-readable perf records —
+``BENCH_scaling.json`` (events/sec per scenario × n cell) and
+``BENCH_smr.json`` (txns/sec per engine × workload × scenario × n cell)
+— precisely so the per-PR perf trajectory is data.  This script is the
+gate that makes the trajectory binding: it compares freshly produced
+records against the committed baselines and fails (exit 1) when any
+smoke cell's wall-clock rate regressed by more than the threshold
+(default 30%).
+
+Two kinds of cells are gated:
+
+* **aggregate hot-path records** (``event_core_2x`` events/sec,
+  ``smr_hot_path_2x`` txns/sec) — measured over large runs, ~1%
+  run-to-run variance, always gated;
+* **per-cell grid records** — gated only when the cell's measured wall
+  clock is above ``--min-wall`` (default 50 ms).  The small-n smoke
+  cells finish in a few milliseconds; at that resolution a single-shot
+  rate cannot distinguish a 30% regression from scheduler noise (the
+  observed run-to-run swing is larger than the threshold), so they are
+  reported but not gated.  The large cells and the aggregates carry
+  the gate.
+
+Usage (what the CI workflow runs after the bench smoke jobs)::
+
+    python benchmarks/check_regression.py --baseline-dir .bench-baseline
+
+where ``.bench-baseline/`` holds copies of the *committed*
+``BENCH_scaling.json`` / ``BENCH_smr.json`` taken before the benches
+overwrote them.  ``--fresh-dir`` defaults to the repo root.
+
+Cells present on only one side are reported but never fail the gate
+(benchmarks evolve); only a matched cell that got slower can fail.
+Simulated-time metrics (latency in Δ, txns/Δ) are deliberately not
+gated here — they are deterministic, and the benches themselves assert
+their invariants.
+
+Override: set ``REPRO_ACCEPT_REGRESSION=1`` to report regressions
+without failing — for PRs that knowingly trade throughput for
+correctness or features (say so in the PR description).  When a PR
+legitimately shifts performance, refresh the committed baselines in
+the same PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+#: Per-cell grid records: file stem → (record key, identity fields,
+#: gated rate metric).
+GATED_GRIDS: tuple[tuple[str, str, tuple[str, ...], str], ...] = (
+    ("scaling", "throughput", ("scenario", "n"), "events_per_sec"),
+    ("smr", "smr_smoke", ("engine", "workload", "scenario", "n"), "txns_per_sec"),
+    (
+        "smr",
+        "engine_matrix_smoke",
+        ("engine", "workload", "scenario", "n"),
+        "txns_per_sec",
+    ),
+)
+
+#: Aggregate hot-path records: file stem → (record key, rate metric).
+#: Dict-shaped, measured over large runs — always gated.
+GATED_AGGREGATES: tuple[tuple[str, str], ...] = (
+    ("scaling", "event_core_2x"),
+    ("smr", "smr_hot_path_2x"),
+)
+
+_AGGREGATE_METRICS = {"event_core_2x": "events_per_sec", "smr_hot_path_2x": "txns_per_sec"}
+
+
+def load_records(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except OSError:
+        return {}
+    except ValueError:
+        print(f"WARNING: {path} is not valid JSON; treating as empty")
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def cell_wall_seconds(row: dict, metric: str) -> float | None:
+    """Measured wall clock of one cell, inferred when not recorded."""
+    wall = row.get("wall_seconds")
+    if isinstance(wall, (int, float)):
+        return float(wall)
+    # SMR rows record committed work and its rate; wall follows.
+    committed = row.get("committed")
+    rate = row.get(metric)
+    if isinstance(committed, (int, float)) and rate:
+        return float(committed) / float(rate)
+    return None
+
+
+def index_cells(
+    records: dict, key: str, identity: tuple[str, ...], metric: str
+) -> dict[tuple, tuple[float, float | None]]:
+    """cell id → (rate, wall seconds or None) for one grid record."""
+    cells = {}
+    for row in records.get(key, []) or []:
+        if not isinstance(row, dict) or metric not in row:
+            continue
+        cell_id = tuple(row.get(field) for field in identity)
+        cells[cell_id] = (float(row[metric]), cell_wall_seconds(row, metric))
+    return cells
+
+
+def compare(
+    baseline_dir: Path, fresh_dir: Path, threshold: float, min_wall: float
+) -> tuple[list[str], list[str]]:
+    """Returns (regressions, notes); a non-empty first list fails the gate."""
+    regressions: list[str] = []
+    notes: list[str] = []
+
+    def judge(label: str, metric: str, base_rate: float, rate: float, gated: bool) -> None:
+        if base_rate <= 0:
+            notes.append(f"{label}: non-positive baseline {base_rate}")
+            return
+        ratio = rate / base_rate
+        line = (
+            f"{label}: {metric} {base_rate:,.0f} → {rate:,.0f} "
+            f"({(ratio - 1) * 100:+.1f}%)"
+        )
+        if not gated:
+            notes.append(f"{line} [noisy cell, not gated]")
+        elif ratio < 1.0 - threshold:
+            regressions.append(line)
+        else:
+            notes.append(line)
+
+    baselines = {
+        stem: load_records(baseline_dir / f"BENCH_{stem}.json")
+        for stem in ("scaling", "smr")
+    }
+    fresh_all = {
+        stem: load_records(fresh_dir / f"BENCH_{stem}.json")
+        for stem in ("scaling", "smr")
+    }
+
+    for stem, key in GATED_AGGREGATES:
+        metric = _AGGREGATE_METRICS[key]
+        base = baselines[stem].get(key)
+        new = fresh_all[stem].get(key)
+        label = f"{stem}/{key}"
+        if not isinstance(base, dict) or metric not in base:
+            notes.append(f"{label}: no baseline — skipping")
+            continue
+        if not isinstance(new, dict) or metric not in new:
+            notes.append(f"{label}: missing from fresh run")
+            continue
+        judge(label, metric, float(base[metric]), float(new[metric]), gated=True)
+
+    for stem, key, identity, metric in GATED_GRIDS:
+        baseline = index_cells(baselines[stem], key, identity, metric)
+        fresh = index_cells(fresh_all[stem], key, identity, metric)
+        if not baseline:
+            notes.append(f"{stem}/{key}: no baseline cells — skipping")
+            continue
+        for cell_id, (base_rate, base_wall) in sorted(baseline.items(), key=repr):
+            label = f"{stem}/{key} {dict(zip(identity, cell_id))}"
+            if cell_id not in fresh:
+                notes.append(f"{label}: missing from fresh run")
+                continue
+            rate, wall = fresh[cell_id]
+            # Gate when EITHER side is measurably slow: two fast walls
+            # mean pure timer noise, but a cell that jumped from
+            # milliseconds to a measurable wall is a real regression
+            # and must not hide behind its formerly-fast baseline.
+            walls = [w for w in (base_wall, wall) if w is not None]
+            gated = bool(walls) and max(walls) >= min_wall
+            judge(label, metric, base_rate, rate, gated)
+        for cell_id in sorted(set(fresh) - set(baseline), key=repr):
+            notes.append(
+                f"{stem}/{key} {dict(zip(identity, cell_id))}: new cell (no baseline)"
+            )
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        required=True,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly produced BENCH_*.json (default: .)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional slowdown per cell (default 0.30)",
+    )
+    parser.add_argument(
+        "--min-wall",
+        type=float,
+        default=0.05,
+        help="minimum measured cell wall clock (s) for the cell to be "
+        "gated rather than merely reported (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    regressions, notes = compare(
+        args.baseline_dir, args.fresh_dir, args.threshold, args.min_wall
+    )
+    for note in notes:
+        print(f"  ok    {note}")
+    for line in regressions:
+        print(f"  SLOW  {line}")
+    if not regressions:
+        print(f"regression gate: all gated cells within {args.threshold:.0%}")
+        return 0
+    print(
+        f"regression gate: {len(regressions)} cell(s) regressed more than "
+        f"{args.threshold:.0%}"
+    )
+    if os.environ.get("REPRO_ACCEPT_REGRESSION"):
+        print("REPRO_ACCEPT_REGRESSION set — reporting only, not failing")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,6 @@ leaving records written by other tests in place.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
@@ -26,16 +25,14 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def record_bench(stem: str, key: str, payload: object) -> None:
-    """Merge ``payload`` under ``key`` into ``BENCH_<stem>.json``."""
-    path = _REPO_ROOT / f"BENCH_{stem}.json"
-    try:
-        data = json.loads(path.read_text())
-        if not isinstance(data, dict):
-            data = {}
-    except (OSError, ValueError):
-        data = {}
-    data[key] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    """Merge ``payload`` under ``key`` into ``BENCH_<stem>.json``.
+
+    Delegates to :func:`repro.eval.report.merge_record`, the single
+    implementation of the merge-under-key record format.
+    """
+    from repro.eval.report import merge_record
+
+    merge_record(_REPO_ROOT / f"BENCH_{stem}.json", key, payload)
 
 
 @pytest.fixture

@@ -21,6 +21,12 @@ engines — one latency/throughput row per engine × workload cell.  The
 default run is the tier-1 smoke slice (sync network, n=4); set
 ``REPRO_HEAVY=1`` for the full engine × workload × scenario × n grid.
 
+``attacks`` is the Byzantine campaign: every engine attacked by every
+deviation family (silence, crash/recover, equivocation, vote
+withholding, history fabrication, chaos) with f faulty replicas, each
+run audited post hoc by the SafetyAuditor and the verdicts persisted
+to ``BENCH_attacks.json``.  Same smoke/heavy split as ``engines``.
+
 Exit status: 0 on success (including ``-h``/``--help``), 1 on bad
 usage or an unknown experiment name.
 """
@@ -29,9 +35,10 @@ from __future__ import annotations
 
 import sys
 
-from repro.eval import engine_matrix, fig1_lemmas, fig2_pipeline, fig3_viewchange
-from repro.eval import hardening_ablation, responsiveness, scaling
-from repro.eval import smr_bench, table1, timeout_ablation, verification_run
+from repro.eval import attacks, engine_matrix, fig1_lemmas, fig2_pipeline
+from repro.eval import fig3_viewchange, hardening_ablation, responsiveness
+from repro.eval import scaling, smr_bench, table1, timeout_ablation
+from repro.eval import verification_run
 
 EXPERIMENTS = {
     "table1": (table1.main, "Table 1 — protocol comparison"),
@@ -45,6 +52,7 @@ EXPERIMENTS = {
     "hardening": (hardening_ablation.main, "Ablation — liveness hardening"),
     "smr": (smr_bench.main, "A4 — SMR client latency / throughput"),
     "engines": (engine_matrix.main, "A5 — cross-engine SMR matrix"),
+    "attacks": (attacks.main, "A6 — Byzantine campaign over the engines"),
 }
 
 

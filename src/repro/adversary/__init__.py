@@ -1,4 +1,9 @@
-"""Byzantine node behaviours for fault-injection tests and benches."""
+"""Byzantine node behaviours for fault-injection tests and benches.
+
+Two layers: :mod:`repro.adversary.byzantine` replaces single-shot
+TetraBFT nodes wholesale; :mod:`repro.adversary.faulty_engine` wraps
+any pluggable SMR consensus engine in the same deviation repertoire.
+"""
 
 from repro.adversary.byzantine import (
     ChaosMonkey,
@@ -8,12 +13,36 @@ from repro.adversary.byzantine import (
     SilentNode,
     VoteWithholder,
 )
+from repro.adversary.faulty_engine import (
+    ATTACK_NAMES,
+    ATTACKS,
+    Chaos,
+    Deviation,
+    Equivocate,
+    FabricateHistory,
+    FaultyEngine,
+    ScheduledCrash,
+    Silence,
+    Withhold,
+    faulty_factory,
+)
 
 __all__ = [
+    "ATTACKS",
+    "ATTACK_NAMES",
+    "Chaos",
     "ChaosMonkey",
     "CrashNode",
+    "Deviation",
+    "Equivocate",
     "EquivocatingLeader",
+    "FabricateHistory",
+    "FaultyEngine",
     "HistoryFabricator",
+    "ScheduledCrash",
+    "Silence",
     "SilentNode",
     "VoteWithholder",
+    "Withhold",
+    "faulty_factory",
 ]

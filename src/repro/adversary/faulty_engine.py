@@ -1,0 +1,546 @@
+"""Byzantine deviations at the SMR/engine layer.
+
+The single-shot adversaries in :mod:`repro.adversary.byzantine` replace
+a whole :class:`~repro.core.node.TetraBFTNode`; none of them can attack
+the pluggable SMR engines behind the
+:class:`~repro.smr.engine.ConsensusEngine` boundary.  This module lifts
+the same deviation repertoire to that boundary: a :class:`FaultyEngine`
+wraps *any* engine (pipelined TetraBFT, or the chained PBFT /
+IT-HotStuff / Li baselines) and filters, forges, splits or sprays its
+traffic according to a pluggable :class:`Deviation` strategy, while the
+wrapped engine keeps running the honest state machine underneath — the
+strongest unauthenticated adversary short of rewriting the protocol:
+it can lie about content arbitrarily but cannot forge sender identity.
+
+The repertoire (one :class:`Deviation` per family, mirroring the
+single-shot classes):
+
+* :class:`Silence` — drops every outbound message (crash-from-start);
+* :class:`ScheduledCrash` — honest outside a ``[crash_at, recover_at)``
+  window, dark inside it (rolling crash/recover when combined with the
+  engines' catch-up paths);
+* :class:`Equivocate` — splits every proposal and vote broadcast: one
+  half of the network sees the honest block, the other a forged twin
+  minted for the same slot and parent, with votes kept consistent per
+  half via a twin cache;
+* :class:`Withhold` — suppresses outbound votes (a participation
+  attack: the node still receives, counts and proposes);
+* :class:`FabricateHistory` — refuses to propose when leading (forcing
+  view changes on its slots) and answers the resulting view changes
+  with forged vote histories / lock claims pushing a poison block, the
+  attack Rules 1–4 (and any lock-based recovery) must survive;
+* :class:`Chaos` — a seeded stream of dropped, duplicated and
+  mutated-replayed protocol messages (the engine-layer
+  ``ByzantineHavoc``).
+
+:func:`faulty_factory` is the :data:`~repro.smr.engine.EngineFactory`
+combinator the campaign runner (:mod:`repro.eval.attacks`) builds
+clusters from: replicas whose ids land in the f-bounded faulty set get
+their engine wrapped, everyone else runs the unmodified engine.  All
+randomness is seeded — the same (attack, seed) pair yields
+byte-identical traces, which the unit tests pin.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import replace
+
+from repro.baselines.base import BPhaseVote, BProposal, BRound, BViewChange
+from repro.baselines.chained import SlotMessage
+from repro.core.config import ProtocolConfig
+from repro.core.messages import VoteRecord
+from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore, Digest
+from repro.multishot.messages import (
+    MSProof,
+    MSProposal,
+    MSSuggest,
+    MSViewChange,
+    MSVote,
+)
+from repro.quorums.system import NodeId
+from repro.sim.runner import NodeContext
+from repro.smr.engine import ConsensusEngine, EngineFactory
+
+#: A delivery the deviation wants made: ``(destination, message)``
+#: where a ``None`` destination means broadcast.
+Delivery = tuple[NodeId | None, object]
+
+#: Builds the per-node deviation for one faulty replica.
+DeviationFactory = Callable[[NodeId], "Deviation"]
+
+
+def _unwrap(message: object) -> tuple[int | None, object]:
+    """``(slot, inner)`` for chained slot envelopes, ``(None, msg)`` else."""
+    if isinstance(message, SlotMessage):
+        return message.slot, message.inner
+    return None, message
+
+
+def _rewrap(message: object, inner: object) -> object:
+    """Put a mutated inner message back into its original envelope."""
+    if isinstance(message, SlotMessage):
+        return SlotMessage(message.slot, inner)
+    return inner
+
+
+def is_proposal(message: object) -> bool:
+    """Engine-generic: does ``message`` carry a leader proposal?"""
+    return isinstance(_unwrap(message)[1], (MSProposal, BProposal))
+
+
+def is_vote(message: object) -> bool:
+    """Engine-generic: does ``message`` carry a vote?"""
+    return isinstance(_unwrap(message)[1], (MSVote, BPhaseVote))
+
+
+def is_view_change(message: object) -> bool:
+    """Engine-generic: does ``message`` signal a view change?"""
+    return isinstance(_unwrap(message)[1], (MSViewChange, BViewChange))
+
+
+class Deviation:
+    """Strategy hook deciding what a faulty replica does with traffic.
+
+    The default implementation is perfectly honest; subclasses override
+    :meth:`outbound` (filter/forge what the wrapped engine sends),
+    :meth:`inbound` (filter what it hears) and :meth:`on_start`
+    (schedule autonomous behaviour).  ``self.engine`` is bound before
+    any hook runs.
+    """
+
+    engine: "FaultyEngine"
+
+    def bind(self, engine: "FaultyEngine") -> None:
+        self.engine = engine
+
+    def on_start(self) -> None:
+        """Called once, after the wrapped engine started."""
+
+    def outbound(self, dst: NodeId | None, message: object) -> list[Delivery]:
+        """Deliveries to make for one send (``dst``) or broadcast (None)."""
+        return [(dst, message)]
+
+    def inbound(self, sender: NodeId, message: object) -> bool:
+        """Whether to deliver one received message to the wrapped engine."""
+        del sender, message
+        return True
+
+
+class _DeviantContext(NodeContext):
+    """Context proxy routing the wrapped engine's sends through the
+    deviation.  Timers, traces and metric reports pass through — the
+    adversary lies on the wire, not to the local bookkeeping."""
+
+    def __init__(self, real: NodeContext, engine: "FaultyEngine") -> None:
+        super().__init__(real.node_id, real._sim)
+        self._engine = engine
+
+    def send(self, dst: NodeId, message: object) -> None:
+        self._engine._emit(self._engine.deviation.outbound(dst, message))
+
+    def broadcast(self, message: object) -> None:
+        self._engine._emit(self._engine.deviation.outbound(None, message))
+
+
+class FaultyEngine:
+    """A Byzantine wrapper around any consensus engine.
+
+    Structurally a :class:`~repro.smr.engine.ConsensusEngine`: the SMR
+    replica drives it exactly like an honest engine.  Every outbound
+    message the wrapped engine produces is routed through the bound
+    :class:`Deviation` (which may drop, rewrite, split or multiply it)
+    and every inbound message may be suppressed; the wrapped engine
+    itself stays the honest state machine, so pre-attack behaviour is
+    exactly the protocol's.
+    """
+
+    def __init__(
+        self, node_id: NodeId, inner: ConsensusEngine, deviation: Deviation
+    ) -> None:
+        self.node_id = node_id
+        self.inner = inner
+        self.deviation = deviation
+        self._ctx: NodeContext | None = None
+        deviation.bind(self)
+
+    # -- ConsensusEngine surface ------------------------------------------------
+
+    def start(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+        self.inner.start(_DeviantContext(ctx, self))
+        self.deviation.on_start()
+
+    def receive(self, sender: NodeId, message: object) -> None:
+        if self.deviation.inbound(sender, message):
+            self.inner.receive(sender, message)
+
+    @property
+    def store(self) -> BlockStore:
+        return self.inner.store
+
+    @property
+    def finalized_chain(self) -> list[Block]:
+        return self.inner.finalized_chain
+
+    # -- deviation services ----------------------------------------------------
+
+    @property
+    def ctx(self) -> NodeContext:
+        assert self._ctx is not None, "faulty engine used before start()"
+        return self._ctx
+
+    @property
+    def now(self) -> float:
+        return self.ctx.now
+
+    def tip_digest(self) -> Digest:
+        chain = self.inner.finalized_chain
+        return chain[-1].digest if chain else GENESIS_DIGEST
+
+    def _emit(self, deliveries: list[Delivery]) -> None:
+        ctx = self.ctx
+        for dst, message in deliveries:
+            if dst is None:
+                ctx.broadcast(message)
+            else:
+                ctx.send(dst, message)
+
+
+# -- the repertoire -----------------------------------------------------------
+
+
+class Silence(Deviation):
+    """Sends nothing, ever — the engine-layer crash-from-start."""
+
+    def outbound(self, dst: NodeId | None, message: object) -> list[Delivery]:
+        del dst, message
+        return []
+
+
+class ScheduledCrash(Deviation):
+    """Honest until ``crash_at``; dark until ``recover_at`` (or forever).
+
+    Inbound traffic is suppressed during the outage too, so on recovery
+    the wrapped engine is genuinely behind and must rejoin through the
+    protocol's own catch-up path (state transfer for the chained
+    engines, notarization catch-up for the pipelined one).
+    """
+
+    def __init__(self, crash_at: float, recover_at: float | None = None) -> None:
+        self.crash_at = crash_at
+        self.recover_at = recover_at
+
+    def _dark(self) -> bool:
+        now = self.engine.now
+        if now < self.crash_at:
+            return False
+        return self.recover_at is None or now < self.recover_at
+
+    def outbound(self, dst: NodeId | None, message: object) -> list[Delivery]:
+        if self._dark():
+            return []
+        return [(dst, message)]
+
+    def inbound(self, sender: NodeId, message: object) -> bool:
+        del sender, message
+        return not self._dark()
+
+
+class Withhold(Deviation):
+    """Drops outbound votes; everything else flows honestly.
+
+    With at most ``f`` withholders the remaining ``n - f`` honest nodes
+    still form quorums, so every engine must stay live — the campaign
+    asserts exactly that for TetraBFT.
+    """
+
+    def outbound(self, dst: NodeId | None, message: object) -> list[Delivery]:
+        if is_vote(message):
+            return []
+        return [(dst, message)]
+
+
+class Equivocate(Deviation):
+    """Shows each half of the network a different lineage.
+
+    Proposal broadcasts are split: the low-id half receives the honest
+    block, the high-id half a forged twin for the same slot and parent
+    (so both lineages are well-formed).  Votes follow the same split,
+    translated through a twin cache so each half's votes consistently
+    endorse the lineage it was shown.  Within-view safety (Lemma 6 for
+    TetraBFT; the decide-quorum intersection argument for the chained
+    baselines) must hold regardless.
+    """
+
+    def __init__(self, node_id: NodeId, config: ProtocolConfig) -> None:
+        self.node_id = node_id
+        self.ids = list(config.node_ids)
+        # digest → twin digest, both directions, so a vote for either
+        # lineage translates to its counterpart for the other half.
+        self._twin_digest: dict[Digest, Digest] = {}
+
+    def _halves(self) -> tuple[list[NodeId], list[NodeId]]:
+        mid = len(self.ids) // 2
+        return self.ids[:mid], self.ids[mid:]
+
+    def _twin_block(self, block: Block) -> Block:
+        twin = Block.create(
+            block.slot, block.parent, ("equivocation", self.node_id, block.slot)
+        )
+        self._twin_digest[block.digest] = twin.digest
+        self._twin_digest[twin.digest] = block.digest
+        return twin
+
+    def _twin_message(self, message: object) -> object | None:
+        """The conflicting counterpart of one outbound message."""
+        envelope_slot, inner = _unwrap(message)
+        del envelope_slot
+        if isinstance(inner, MSProposal):
+            return _rewrap(
+                message, replace(inner, block=self._twin_block(inner.block))
+            )
+        if isinstance(inner, BProposal) and isinstance(inner.value, Block):
+            return _rewrap(
+                message, replace(inner, value=self._twin_block(inner.value))
+            )
+        if isinstance(inner, MSVote):
+            twin = self._twin_digest.get(inner.digest)
+            if twin is None:
+                return None
+            return _rewrap(message, replace(inner, digest=twin))
+        if isinstance(inner, BPhaseVote) and isinstance(inner.value, Block):
+            twin = self._twin_digest.get(inner.value.digest)
+            if twin is None:
+                return None
+            twin_block = self.engine.store.get(twin)
+            if twin_block is None:
+                return None
+            return _rewrap(message, replace(inner, value=twin_block))
+        return None
+
+    def outbound(self, dst: NodeId | None, message: object) -> list[Delivery]:
+        if dst is not None or not (is_proposal(message) or is_vote(message)):
+            return [(dst, message)]
+        twin = self._twin_message(message)
+        if twin is None:
+            return [(dst, message)]
+        if is_proposal(message):
+            # Keep the twin body resolvable for later vote translation.
+            _, inner = _unwrap(twin)
+            body = inner.block if isinstance(inner, MSProposal) else inner.value
+            if isinstance(body, Block):
+                self.engine.store.add(body)
+        low, high = self._halves()
+        return [(node, message) for node in low] + [(node, twin) for node in high]
+
+
+class FabricateHistory(Deviation):
+    """Forges protocol history during view changes.
+
+    Never proposes when leading (its slots must time out, creating the
+    view changes the forgery needs), then:
+
+    * **pipelined TetraBFT** — outbound suggest/proof messages are
+      rewritten, and every observed view change answered, with
+      :class:`~repro.core.messages.VoteRecord` claims that a poison
+      digest was voted at the highest views imaginable — the lie
+      Rules 1–4 must reject without a blocking set to vouch for it;
+    * **chained baselines** — outbound view-change/round messages claim
+      a maximal lock on a poison block extending the current tip, the
+      lie the highest-lock recovery rule is most exposed to.
+
+    Poison payloads are type-correct but carry no transactions, so an
+    engine that *does* finalize one merely wastes the slot.
+    """
+
+    #: How far above the current view forged lock claims reach.
+    LOCK_LEAD = 50
+
+    def __init__(self, node_id: NodeId, config: ProtocolConfig) -> None:
+        self.node_id = node_id
+        self.ids = list(config.node_ids)
+        self._answered: set[tuple[int | None, int]] = set()
+
+    def _poison_digest(self, slot: int | None, view: int) -> Digest:
+        return f"poison-{self.node_id}-{slot}-{view}"
+
+    def _poison_block(self, slot: int) -> Block:
+        block = Block.create(slot, self.engine.tip_digest(), ("poison", self.node_id))
+        self.engine.store.add(block)
+        return block
+
+    def _forged_records(self, slot: int | None, view: int) -> dict[str, VoteRecord]:
+        high = VoteRecord(view=max(view - 1, 0), value=self._poison_digest(slot, view))
+        prev = VoteRecord(view=max(view - 2, 0), value=self._poison_digest(slot, 0))
+        return {"high": high, "prev": prev}
+
+    def outbound(self, dst: NodeId | None, message: object) -> list[Delivery]:
+        slot, inner = _unwrap(message)
+        if isinstance(inner, (MSProposal, BProposal)):
+            return []  # leading ⇒ stall the slot into a view change
+        if isinstance(inner, MSSuggest):
+            forged = self._forged_records(inner.slot, inner.view)
+            return [(dst, replace(
+                inner,
+                vote2=forged["high"],
+                prev_vote2=forged["prev"],
+                vote3=forged["high"],
+            ))]
+        if isinstance(inner, MSProof):
+            forged = self._forged_records(inner.slot, inner.view)
+            return [(dst, replace(
+                inner,
+                vote1=forged["high"],
+                prev_vote1=forged["prev"],
+                vote4=forged["high"],
+            ))]
+        if isinstance(inner, (BViewChange, BRound)) and slot is not None:
+            poisoned = replace(
+                inner,
+                lock_view=inner.view + self.LOCK_LEAD,
+                lock_value=self._poison_block(slot),
+            )
+            return [(dst, _rewrap(message, poisoned))]
+        return [(dst, message)]
+
+    def inbound(self, sender: NodeId, message: object) -> bool:
+        _, inner = _unwrap(message)
+        if isinstance(inner, MSViewChange) and sender != self.node_id:
+            key = (inner.slot, inner.view)
+            if key not in self._answered:
+                self._answered.add(key)
+                self._spray_forgeries(inner.slot, inner.view)
+        return True
+
+    def _spray_forgeries(self, slot: int, view: int) -> None:
+        """Answer a view change with forged suggest/proof histories."""
+        forged = self._forged_records(slot, view)
+        leader = self.ids[(slot + view) % len(self.ids)]
+        self.engine._emit([
+            (None, MSProof(slot, view, forged["high"], forged["prev"], forged["high"])),
+            (leader, MSSuggest(
+                slot, view, forged["high"], forged["prev"], forged["high"]
+            )),
+        ])
+
+
+class Chaos(Deviation):
+    """Seeded engine-layer havoc: drop, duplicate, mutate, replay.
+
+    Outbound messages are dropped or duplicated at random; inbound
+    traffic feeds a bounded replay buffer that a periodic timer sprays
+    back at random nodes with slot/view fields randomly bumped — a
+    stream of stale, duplicated and subtly-wrong but type-correct
+    protocol messages.  Fully deterministic for a fixed seed.
+    """
+
+    BUFFER = 32
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ProtocolConfig,
+        seed: int = 0,
+        period: float = 2.0,
+        burst: int = 4,
+        horizon: float = 120.0,
+    ) -> None:
+        self.node_id = node_id
+        self.ids = list(config.node_ids)
+        self.period = period
+        self.burst = burst
+        self.horizon = horizon
+        # Mixed as plain ints: tuple seeds go through hash(), which is
+        # process-salted and would break cross-run trace identity.
+        self._rng = random.Random(seed * 1_000_003 + node_id)
+        self._seen: list[object] = []
+
+    def on_start(self) -> None:
+        self.engine.ctx.set_timer(self.period, self._tick)
+
+    def outbound(self, dst: NodeId | None, message: object) -> list[Delivery]:
+        roll = self._rng.random()
+        if roll < 0.25:
+            return []  # drop
+        if roll < 0.5:
+            extra = self._rng.choice(self.ids)
+            return [(dst, message), (extra, message)]  # duplicate
+        return [(dst, message)]
+
+    def inbound(self, sender: NodeId, message: object) -> bool:
+        del sender
+        self._seen.append(message)
+        if len(self._seen) > self.BUFFER:
+            self._seen.pop(0)
+        return True
+
+    def _mutate(self, message: object) -> object:
+        """Randomly bump integer slot/view fields, keeping types legal."""
+        slot, inner = _unwrap(message)
+        del slot
+        fields = {}
+        for name in ("slot", "view"):
+            value = getattr(inner, name, None)
+            if isinstance(value, int) and self._rng.random() < 0.5:
+                fields[name] = max(1, value + self._rng.randint(-1, 2))
+        if not fields:
+            return message
+        try:
+            return _rewrap(message, replace(inner, **fields))
+        except (TypeError, ValueError):
+            return message
+
+    def _tick(self) -> None:
+        if self.engine.now > self.horizon:
+            return
+        if self._seen:
+            for _ in range(self.burst):
+                victim = self._rng.choice(self._seen)
+                target = self._rng.choice(self.ids)
+                self.engine._emit([(target, self._mutate(victim))])
+        self.engine.ctx.set_timer(self.period, self._tick)
+
+
+# -- factory combinators -------------------------------------------------------
+
+
+def faulty_factory(
+    inner: EngineFactory,
+    deviation: DeviationFactory,
+    faulty: Iterable[NodeId],
+) -> EngineFactory:
+    """An :data:`EngineFactory` whose ``faulty`` replicas misbehave.
+
+    Replicas with ids in ``faulty`` get their engine wrapped in a
+    :class:`FaultyEngine` driving ``deviation(node_id)``; all others
+    build the unmodified inner engine.  This is the combinator the
+    campaign runner composes with any registered engine factory.
+    """
+    faulty_set = frozenset(faulty)
+
+    def build(node_id: NodeId, payload_fn, on_finalize) -> ConsensusEngine:
+        engine = inner(node_id, payload_fn, on_finalize)
+        if node_id in faulty_set:
+            return FaultyEngine(node_id, engine, deviation(node_id))
+        return engine
+
+    return build
+
+
+#: The attack registry: name → (node_id, config, seed) → Deviation.
+#: One entry per deviation family; the campaign grid iterates these.
+ATTACKS: dict[str, Callable[[NodeId, ProtocolConfig, int], Deviation]] = {
+    "silence": lambda node_id, config, seed: Silence(),
+    "crash": lambda node_id, config, seed: ScheduledCrash(
+        crash_at=15.0, recover_at=60.0
+    ),
+    "equivocate": lambda node_id, config, seed: Equivocate(node_id, config),
+    "withhold": lambda node_id, config, seed: Withhold(),
+    "fabricate": lambda node_id, config, seed: FabricateHistory(node_id, config),
+    "chaos": lambda node_id, config, seed: Chaos(node_id, config, seed=seed),
+}
+
+#: Grid order of the attack families.
+ATTACK_NAMES = tuple(ATTACKS)

@@ -6,6 +6,14 @@ experiment-id ↔ module mapping lives in DESIGN.md §3; measured-vs-paper
 results are recorded in EXPERIMENTS.md.
 """
 
+from repro.eval.attacks import (
+    AttackRow,
+    CampaignRunner,
+    place_adversaries,
+    run_attack_cell,
+    run_attack_grid,
+    run_attack_smoke,
+)
 from repro.eval.engine_matrix import (
     run_engine_matrix,
     run_engine_smoke,
@@ -21,6 +29,8 @@ from repro.eval.timeout_ablation import TimeoutPoint, run_timeout_ablation
 from repro.eval.verification_run import VerificationSummary, run_verification
 
 __all__ = [
+    "AttackRow",
+    "CampaignRunner",
     "LemmaChainResult",
     "PROTOCOLS",
     "PipelineResult",
@@ -31,6 +41,10 @@ __all__ = [
     "TimeoutPoint",
     "VerificationSummary",
     "ViewChangeResult",
+    "place_adversaries",
+    "run_attack_cell",
+    "run_attack_grid",
+    "run_attack_smoke",
     "run_engine_matrix",
     "run_engine_smoke",
     "run_lemma_chain",

@@ -34,7 +34,6 @@ from repro.core import ProtocolConfig, TetraBFTNode
 from repro.sim import (
     PartialSynchronyPolicy,
     Simulation,
-    SynchronousDelays,
     UniformRandomDelays,
 )
 

@@ -2,12 +2,33 @@
 
 Every experiment module produces rows (lists of dicts); this module
 renders them the way the paper presents its tables so bench output can
-be compared to the paper side by side.
+be compared to the paper side by side.  It also owns the
+machine-readable side: :func:`merge_record` is the one implementation
+of the ``BENCH_*.json`` merge-under-key format used by the CLI
+experiments and the benchmark harness alike.
 """
 
 from __future__ import annotations
 
+import json
 from collections.abc import Sequence
+from pathlib import Path
+
+
+def merge_record(path: Path, key: str, payload: object) -> None:
+    """Merge ``payload`` under ``key`` into the JSON record at ``path``.
+
+    Records written by other keys are left in place; a missing or
+    malformed file is replaced wholesale.
+    """
+    try:
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict):
+            data = {}
+    except (OSError, ValueError):
+        data = {}
+    data[key] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def format_table(

@@ -14,6 +14,8 @@ every step) and implies agreement.  We port each conjunct so that:
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence, Set as AbstractSet
+
 from repro.verification.model import (
     ModelConfig,
     ModelState,
@@ -118,4 +120,66 @@ ALL_INVARIANTS = {
     "vote_has_quorum_in_previous_phase": vote_has_quorum_in_previous_phase,
     "votes_safe": votes_safe,
     "consistency": consistency,
+}
+
+
+# -- run-level (chain) invariants ----------------------------------------------
+#
+# The conjuncts above speak about abstract model states; end-to-end runs
+# produce *chains*.  These predicates are the chain-shaped face of the
+# same properties — what agreement, single-chain and execute-once mean
+# for the finalized output of an SMR run — and are what the
+# :class:`~repro.verification.audit.SafetyAuditor` replays every
+# adversarial campaign cell through.  They take plain digest/txid
+# structures so the auditor (and its negative-control tests) can feed
+# them without building protocol objects.
+
+
+def chain_links(entries: Sequence[tuple[int, str, str]]) -> bool:
+    """Hash-pointer integrity of one finalized chain.
+
+    ``entries`` is ``(slot, parent_digest, digest)`` per block, chain
+    order.  Slots must be strictly increasing and every block's parent
+    pointer must name its predecessor's digest (the first block may
+    extend anything — genesis, or a pruned prefix).
+    """
+    for previous, current in zip(entries, entries[1:]):
+        if current[0] <= previous[0]:
+            return False
+        if current[1] != previous[2]:
+            return False
+    return True
+
+
+def chains_agree(chains: Sequence[Sequence[str]]) -> bool:
+    """Pairwise prefix consistency of finalized digest sequences.
+
+    The run-level agreement property: any two honest replicas' chains
+    must be equal up to the shorter one's length (one replica may
+    simply have finalized further).
+    """
+    for i, left in enumerate(chains):
+        for right in chains[i + 1 :]:
+            length = min(len(left), len(right))
+            if list(left[:length]) != list(right[:length]):
+                return False
+    return True
+
+
+def chains_no_fork(slot_digests: Mapping[int, AbstractSet[str]]) -> bool:
+    """At most one finalized digest per slot across the whole cluster."""
+    return all(len(digests) <= 1 for digests in slot_digests.values())
+
+
+def executed_once(applied_txids: Sequence[str]) -> bool:
+    """No transaction id appears twice in one replica's applied log."""
+    return len(applied_txids) == len(set(applied_txids))
+
+
+#: The run-level registry, mirroring :data:`ALL_INVARIANTS` in shape.
+CHAIN_INVARIANTS = {
+    "chain_links": chain_links,
+    "chains_agree": chains_agree,
+    "chains_no_fork": chains_no_fork,
+    "executed_once": executed_once,
 }

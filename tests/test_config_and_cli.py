@@ -78,6 +78,10 @@ class TestCLI:
         assert "engines" in EXPERIMENTS
         assert "engines" in usage()
 
+    def test_attacks_experiment_registered(self):
+        assert "attacks" in EXPERIMENTS
+        assert "attacks" in usage()
+
     def test_no_args_is_bad_usage(self, capsys):
         assert main([]) == 1
         captured = capsys.readouterr()
