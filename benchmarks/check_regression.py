@@ -1,8 +1,9 @@
 """CI regression gate over the committed BENCH_*.json perf records.
 
 The benchmark smoke runs persist machine-readable perf records —
-``BENCH_scaling.json`` (events/sec per scenario × n cell) and
+``BENCH_scaling.json`` (events/sec per scenario × n cell),
 ``BENCH_smr.json`` (txns/sec per engine × workload × scenario × n cell)
+and ``BENCH_net.json`` (wall-clock txns/sec per deployed-cluster cell)
 — precisely so the per-PR perf trajectory is data.  This script is the
 gate that makes the trajectory binding: it compares freshly produced
 records against the committed baselines and fails (exit 1) when any
@@ -61,7 +62,11 @@ GATED_GRIDS: tuple[tuple[str, str, tuple[str, ...], str], ...] = (
         ("engine", "workload", "scenario", "n"),
         "txns_per_sec",
     ),
+    ("net", "net_smoke", ("engine", "workload", "scenario", "n"), "txns_per_sec"),
 )
+
+#: Every BENCH file stem the gate reads.
+BENCH_STEMS = ("scaling", "smr", "net")
 
 #: Aggregate hot-path records: file stem → (record key, rate metric).
 #: Dict-shaped, measured over large runs — always gated.
@@ -122,10 +127,7 @@ def compare(
             notes.append(f"{label}: non-positive baseline {base_rate}")
             return
         ratio = rate / base_rate
-        line = (
-            f"{label}: {metric} {base_rate:,.0f} → {rate:,.0f} "
-            f"({(ratio - 1) * 100:+.1f}%)"
-        )
+        line = f"{label}: {metric} {base_rate:,.0f} → {rate:,.0f} " f"({(ratio - 1) * 100:+.1f}%)"
         if not gated:
             notes.append(f"{line} [noisy cell, not gated]")
         elif ratio < 1.0 - threshold:
@@ -133,14 +135,8 @@ def compare(
         else:
             notes.append(line)
 
-    baselines = {
-        stem: load_records(baseline_dir / f"BENCH_{stem}.json")
-        for stem in ("scaling", "smr")
-    }
-    fresh_all = {
-        stem: load_records(fresh_dir / f"BENCH_{stem}.json")
-        for stem in ("scaling", "smr")
-    }
+    baselines = {stem: load_records(baseline_dir / f"BENCH_{stem}.json") for stem in BENCH_STEMS}
+    fresh_all = {stem: load_records(fresh_dir / f"BENCH_{stem}.json") for stem in BENCH_STEMS}
 
     for stem, key in GATED_AGGREGATES:
         metric = _AGGREGATE_METRICS[key]
@@ -175,9 +171,7 @@ def compare(
             gated = bool(walls) and max(walls) >= min_wall
             judge(label, metric, base_rate, rate, gated)
         for cell_id in sorted(set(fresh) - set(baseline), key=repr):
-            notes.append(
-                f"{stem}/{key} {dict(zip(identity, cell_id))}: new cell (no baseline)"
-            )
+            notes.append(f"{stem}/{key} {dict(zip(identity, cell_id))}: new cell (no baseline)")
     return regressions, notes
 
 
@@ -209,9 +203,7 @@ def main(argv: list[str] | None = None) -> int:
         "gated rather than merely reported (default 0.05)",
     )
     args = parser.parse_args(argv)
-    regressions, notes = compare(
-        args.baseline_dir, args.fresh_dir, args.threshold, args.min_wall
-    )
+    regressions, notes = compare(args.baseline_dir, args.fresh_dir, args.threshold, args.min_wall)
     for note in notes:
         print(f"  ok    {note}")
     for line in regressions:

@@ -153,18 +153,14 @@ class _DirectWiredReplica:
             return
         applied = []
         for txn in payload:
-            if isinstance(txn, Transaction) and not self.mempool.is_finalized(
-                txn.txid
-            ):
+            if isinstance(txn, Transaction) and not self.mempool.is_finalized(txn.txid):
                 self.store.apply(txn.txid, txn.op)
                 applied.append(txn.txid)
         self.mempool.mark_finalized(applied)
 
 
 def _run_cluster(make_replica, n=4, txns=120, batch=10):
-    config = MultiShotConfig(
-        base=ProtocolConfig.create(n), max_slots=txns // batch + 10
-    )
+    config = MultiShotConfig(base=ProtocolConfig.create(n), max_slots=txns // batch + 10)
     sim = Simulation(SynchronousDelays(1.0))
     replicas = [make_replica(i, config, batch) for i in range(n)]
     for replica in replicas:
@@ -188,9 +184,7 @@ def test_tetrabft_engine_boundary_byte_identical(benchmark):
         rounds=1,
         iterations=1,
     )
-    assert [r.state_digest() for r in engines] == [
-        r.state_digest() for r in oracle
-    ]
+    assert [r.state_digest() for r in engines] == [r.state_digest() for r in oracle]
     assert [[b.digest for b in r.finalized_chain] for r in engines] == [
         [b.digest for b in r.finalized_chain] for r in oracle
     ]

@@ -155,9 +155,7 @@ class _SeedNetwork:
 
     def send(self, src, dst, message) -> None:
         self.metrics.record_send(src, message)
-        self.trace.record(
-            self.scheduler.now, src, None, dst=dst, msg=type(message).__name__
-        )
+        self.trace.record(self.scheduler.now, src, None, dst=dst, msg=type(message).__name__)
         delay = self.policy.delay(self.scheduler.now, src, dst, message)
         if delay is None:
             self.metrics.record_drop(src)
@@ -174,9 +172,7 @@ class _SeedNetwork:
 
     def _deliver(self, src, dst, message) -> None:
         self.metrics.record_delivery(src)
-        self.trace.record(
-            self.scheduler.now, dst, None, src=src, msg=type(message).__name__
-        )
+        self.trace.record(self.scheduler.now, dst, None, src=src, msg=type(message).__name__)
         self._inboxes[dst](src, message)
 
 
@@ -190,9 +186,7 @@ def _drive_broadcast_workload(scheduler, network, n=64, rounds=6):
     """All-to-all broadcast rounds: n² deliveries per round."""
     received = [0] * n
     for i in range(n):
-        network.register(
-            i, lambda s, m, i=i: received.__setitem__(i, received[i] + 1)
-        )
+        network.register(i, lambda s, m, i=i: received.__setitem__(i, received[i] + 1))
 
     def kick(r: int) -> None:
         for src in range(n):
@@ -227,9 +221,7 @@ def test_event_core_at_least_2x_seed_scheduler(benchmark, bench_record):
         return _drive_broadcast_workload(scheduler, network, n, rounds)
 
     seed = _best_of(seed_eps)
-    new = benchmark.pedantic(
-        lambda: _best_of(new_eps), rounds=1, iterations=1
-    )
+    new = benchmark.pedantic(lambda: _best_of(new_eps), rounds=1, iterations=1)
     print(f"\nseed scheduler: {seed:,.0f} events/s   "
           f"tuple-heap core: {new:,.0f} events/s   ratio {new / seed:.2f}x")
     bench_record(

@@ -262,9 +262,7 @@ class _SeedInFlight:
             for block in chain:
                 payload = block.payload
                 if isinstance(payload, tuple):
-                    in_flight.update(
-                        txn.txid for txn in payload if isinstance(txn, Transaction)
-                    )
+                    in_flight.update(txn.txid for txn in payload if isinstance(txn, Transaction))
         return frozenset(in_flight)
 
     def mark_finalized(self, block: Block) -> None:
@@ -279,9 +277,7 @@ def _bursty_feed(slots: int, batch: int) -> list[tuple[float, Transaction]]:
     a full batch and the backlog the workload exists to stress persists
     across the whole run.
     """
-    workload = BurstyWorkload(
-        bursts=slots // 4, burst_size=5 * batch, period=4.0, seed=0
-    )
+    workload = BurstyWorkload(bursts=slots // 4, burst_size=5 * batch, period=4.0, seed=0)
     return list(workload.transactions())
 
 
@@ -356,9 +352,7 @@ def test_indexed_smr_path_at_least_2x_seed(benchmark, bench_record):
         )
 
     seed = _best_of(seed_run)
-    indexed = benchmark.pedantic(
-        lambda: _best_of(indexed_run), rounds=1, iterations=1
-    )
+    indexed = benchmark.pedantic(lambda: _best_of(indexed_run), rounds=1, iterations=1)
     print(
         f"\nseed SMR path: {seed['txns_per_sec']:,.0f} txn/s   "
         f"indexed path: {indexed['txns_per_sec']:,.0f} txn/s   "

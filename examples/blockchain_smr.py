@@ -22,9 +22,7 @@ from repro.workloads import UniformWorkload
 
 def main() -> None:
     n, batch, txn_count = 4, 10, 300
-    config = MultiShotConfig(
-        base=ProtocolConfig.create(n), max_slots=txn_count // batch + 8
-    )
+    config = MultiShotConfig(base=ProtocolConfig.create(n), max_slots=txn_count // batch + 8)
     sim = Simulation(SynchronousDelays(1.0))
     replicas = [Replica(i, config, max_batch=batch) for i in range(n)]
     for replica in replicas:

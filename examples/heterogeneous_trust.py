@@ -46,7 +46,8 @@ def main() -> None:
         sim.add_node(TetraBFTNode(i, config, initial_value=f"ledger-{i}"))
     sim.run_until_all_decided(until=300)
     for node_id, value in sorted(sim.metrics.latency.decision_values.items()):
-        print(f"  node {node_id} decided {value!r} at t={sim.metrics.latency.decision_times[node_id]}")
+        at = sim.metrics.latency.decision_times[node_id]
+        print(f"  node {node_id} decided {value!r} at t={at}")
 
     print("\n--- crash tolerance is topology-dependent ---")
     # Each core validator's slice needs *both* other core members, so

@@ -54,10 +54,7 @@ def main() -> None:
     print("\nResponsiveness (Δ bound = 8, actual network delay δ swept):")
     print("  δ      TetraBFT   IT-HS-blog")
     for point in run_responsiveness(delta_bound=8.0, actual_deltas=(0.5, 2.0, 8.0)):
-        print(
-            f"  {point.delta_actual:<6} {point.tetrabft_latency:<10} "
-            f"{point.blog_latency}"
-        )
+        print(f"  {point.delta_actual:<6} {point.tetrabft_latency:<10} " f"{point.blog_latency}")
     print("  → TetraBFT's post-view-change latency is 7δ: it tracks the real")
     print("    network.  The non-responsive variant waits out Δ regardless.")
 

@@ -27,6 +27,14 @@ withholding, history fabrication, chaos) with f faulty replicas, each
 run audited post hoc by the SafetyAuditor and the verdicts persisted
 to ``BENCH_attacks.json``.  Same smoke/heavy split as ``engines``.
 
+``net`` is the deployment experiment: one OS process per replica,
+every protocol message serialized through the versioned wire codec and
+carried over TCP sockets, with wall-clock client latency/throughput
+and a post-run safety audit of the collected chains and state digests
+(``BENCH_net.json``).  The smoke slice is n=4 on localhost (lan +
+crash scenarios); ``REPRO_HEAVY=1`` adds n=7, the geo latency matrix,
+and the chained baseline engines.
+
 Exit status: 0 on success (including ``-h``/``--help``), 1 on bad
 usage or an unknown experiment name.
 """
@@ -36,9 +44,9 @@ from __future__ import annotations
 import sys
 
 from repro.eval import attacks, engine_matrix, fig1_lemmas, fig2_pipeline
-from repro.eval import fig3_viewchange, hardening_ablation, responsiveness
-from repro.eval import scaling, smr_bench, table1, timeout_ablation
-from repro.eval import verification_run
+from repro.eval import fig3_viewchange, hardening_ablation, net_bench
+from repro.eval import responsiveness, scaling, smr_bench, table1
+from repro.eval import timeout_ablation, verification_run
 
 EXPERIMENTS = {
     "table1": (table1.main, "Table 1 — protocol comparison"),
@@ -53,6 +61,7 @@ EXPERIMENTS = {
     "smr": (smr_bench.main, "A4 — SMR client latency / throughput"),
     "engines": (engine_matrix.main, "A5 — cross-engine SMR matrix"),
     "attacks": (attacks.main, "A6 — Byzantine campaign over the engines"),
+    "net": (net_bench.main, "A7 — deployed clusters over TCP"),
 }
 
 

@@ -201,9 +201,7 @@ class HistoryFabricator(SimNode):
     agreement still holds.
     """
 
-    def __init__(
-        self, node_id: NodeId, config: ProtocolConfig, poison_value: Value
-    ) -> None:
+    def __init__(self, node_id: NodeId, config: ProtocolConfig, poison_value: Value) -> None:
         self.node_id = node_id
         self.config = config
         self.poison_value = poison_value
@@ -224,12 +222,8 @@ class HistoryFabricator(SimNode):
         self._forged_views.add(view)
         forged_high = VoteRecord(view=max(view - 1, 0), value=self.poison_value)
         forged_prev = VoteRecord(view=max(view - 2, 0), value=("bogus", view))
-        suggest = Suggest(
-            view=view, vote2=forged_high, prev_vote2=forged_prev, vote3=forged_high
-        )
-        proof = Proof(
-            view=view, vote1=forged_high, prev_vote1=forged_prev, vote4=forged_high
-        )
+        suggest = Suggest(view=view, vote2=forged_high, prev_vote2=forged_prev, vote3=forged_high)
+        proof = Proof(view=view, vote1=forged_high, prev_vote1=forged_prev, vote4=forged_high)
         self._ctx.send(self.config.leader_of(view), suggest)
         self._ctx.broadcast(proof)
         # Also echo the view change so it does not slow the honest nodes.

@@ -156,9 +156,7 @@ class FaultyEngine:
     exactly the protocol's.
     """
 
-    def __init__(
-        self, node_id: NodeId, inner: ConsensusEngine, deviation: Deviation
-    ) -> None:
+    def __init__(self, node_id: NodeId, inner: ConsensusEngine, deviation: Deviation) -> None:
         self.node_id = node_id
         self.inner = inner
         self.deviation = deviation
@@ -286,9 +284,7 @@ class Equivocate(Deviation):
         return self.ids[:mid], self.ids[mid:]
 
     def _twin_block(self, block: Block) -> Block:
-        twin = Block.create(
-            block.slot, block.parent, ("equivocation", self.node_id, block.slot)
-        )
+        twin = Block.create(block.slot, block.parent, ("equivocation", self.node_id, block.slot))
         self._twin_digest[block.digest] = twin.digest
         self._twin_digest[twin.digest] = block.digest
         return twin
@@ -298,13 +294,9 @@ class Equivocate(Deviation):
         envelope_slot, inner = _unwrap(message)
         del envelope_slot
         if isinstance(inner, MSProposal):
-            return _rewrap(
-                message, replace(inner, block=self._twin_block(inner.block))
-            )
+            return _rewrap(message, replace(inner, block=self._twin_block(inner.block)))
         if isinstance(inner, BProposal) and isinstance(inner.value, Block):
-            return _rewrap(
-                message, replace(inner, value=self._twin_block(inner.value))
-            )
+            return _rewrap(message, replace(inner, value=self._twin_block(inner.value)))
         if isinstance(inner, MSVote):
             twin = self._twin_digest.get(inner.digest)
             if twin is None:

@@ -385,7 +385,7 @@ class ChainVotingNode(SimNode):
         self._state.proposal = message
         self._cast_phase(0, message.value)
 
-    # -- voting phases ------------------------------------------------------------------------------
+    # -- voting phases ---------------------------------------------------------
 
     def _on_phase_vote(self, sender: NodeId, message: BPhaseVote) -> None:
         if message.view != self.view:

@@ -231,9 +231,7 @@ class ChainedEngine:
         """Per-slot leader rotation: slot ``s`` at view ``v`` is led by
         node ``(s + v) mod n``, mirroring the multi-shot scheme."""
         ids = self.base.node_ids
-        return replace(
-            self.base, leader_fn=lambda view: ids[(slot + view) % len(ids)]
-        )
+        return replace(self.base, leader_fn=lambda view: ids[(slot + view) % len(ids)])
 
     def _tip_digest(self) -> str:
         return self.finalized[-1].digest if self.finalized else GENESIS_DIGEST
@@ -268,9 +266,7 @@ class ChainedEngine:
         if isinstance(message, CatchUp):
             if message.slot > self.active_slot:
                 if message.slot <= self.active_slot + BUFFER_WINDOW:
-                    self._buffer.setdefault(message.slot, []).append(
-                        (sender, message)
-                    )
+                    self._buffer.setdefault(message.slot, []).append((sender, message))
             else:
                 # Even a partially stale batch may reach our active
                 # slot in its tail; _adopt skips what we already have.

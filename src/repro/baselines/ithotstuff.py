@@ -33,7 +33,5 @@ IT_HS_SPEC = BaselineSpec(
 class ITHotStuffNode(ChainVotingNode):
     """A well-behaved IT-HS participant."""
 
-    def __init__(
-        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
-    ) -> None:
+    def __init__(self, node_id: NodeId, config: ProtocolConfig, initial_value: object) -> None:
         super().__init__(node_id, config, IT_HS_SPEC, initial_value)

@@ -27,7 +27,5 @@ IT_HS_BLOG_SPEC = BaselineSpec(
 class ITHotStuffBlogNode(ChainVotingNode):
     """A well-behaved participant of the non-responsive IT-HS variant."""
 
-    def __init__(
-        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
-    ) -> None:
+    def __init__(self, node_id: NodeId, config: ProtocolConfig, initial_value: object) -> None:
         super().__init__(node_id, config, IT_HS_BLOG_SPEC, initial_value)

@@ -31,7 +31,5 @@ LI_SPEC = BaselineSpec(
 class LiNode(ChainVotingNode):
     """A well-behaved participant of the Li et al. protocol model."""
 
-    def __init__(
-        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
-    ) -> None:
+    def __init__(self, node_id: NodeId, config: ProtocolConfig, initial_value: object) -> None:
         super().__init__(node_id, config, LI_SPEC, initial_value)

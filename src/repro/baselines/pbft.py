@@ -58,16 +58,12 @@ PBFT_UNBOUNDED_SPEC = BaselineSpec(
 class PBFTNode(ChainVotingNode):
     """A well-behaved bounded-storage unauthenticated PBFT participant."""
 
-    def __init__(
-        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
-    ) -> None:
+    def __init__(self, node_id: NodeId, config: ProtocolConfig, initial_value: object) -> None:
         super().__init__(node_id, config, PBFT_BOUNDED_SPEC, initial_value)
 
 
 class PBFTUnboundedNode(ChainVotingNode):
     """The unbounded-log PBFT variant (Table 1's unbounded/unbounded row)."""
 
-    def __init__(
-        self, node_id: NodeId, config: ProtocolConfig, initial_value: object
-    ) -> None:
+    def __init__(self, node_id: NodeId, config: ProtocolConfig, initial_value: object) -> None:
         super().__init__(node_id, config, PBFT_UNBOUNDED_SPEC, initial_value)

@@ -35,9 +35,7 @@ class ProtocolConfig:
         if self.delta <= 0:
             raise ConfigurationError(f"delta must be positive, got {self.delta}")
         if self.timeout_delays <= 0:
-            raise ConfigurationError(
-                f"timeout_delays must be positive, got {self.timeout_delays}"
-            )
+            raise ConfigurationError(f"timeout_delays must be positive, got {self.timeout_delays}")
 
     @classmethod
     def create(

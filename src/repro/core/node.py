@@ -76,9 +76,7 @@ class _ViewState:
     vote_senders: dict[Phase, dict[Value, set[NodeId]]] = field(
         default_factory=lambda: {phase: {} for phase in Phase}
     )
-    sent_phase: dict[Phase, bool] = field(
-        default_factory=lambda: {phase: False for phase in Phase}
-    )
+    sent_phase: dict[Phase, bool] = field(default_factory=lambda: {phase: False for phase in Phase})
     proposed: bool = False
 
 
@@ -243,11 +241,7 @@ class TetraBFTNode(SimNode):
         if isinstance(message, ViewChange):
             self._on_view_change(sender, message)
             return
-        if (
-            isinstance(message, Vote)
-            and message.phase is Phase.VOTE4
-            and self.vote4_ledger
-        ):
+        if isinstance(message, Vote) and message.phase is Phase.VOTE4 and self.vote4_ledger:
             self._record_vote4(sender, message)
         if message.view < self.view:
             return  # stale: the view moved on
@@ -380,10 +374,7 @@ class TetraBFTNode(SimNode):
             return
         senders = self._vc_senders.setdefault(view, set())
         senders.add(sender)
-        if (
-            self.config.quorum_system.is_blocking(senders)
-            and view > self._highest_vc_sent
-        ):
+        if self.config.quorum_system.is_blocking(senders) and view > self._highest_vc_sent:
             # f+1 nodes want this view: at least one is well-behaved,
             # so the wish is genuine — amplify it.  NB: broadcasting
             # loops our own view-change back synchronously, which can

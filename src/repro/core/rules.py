@@ -37,9 +37,7 @@ from repro.core.values import GENESIS_VIEW, Value, View
 from repro.quorums.system import NodeId, QuorumSystem
 
 
-def claims_safe(
-    vote: VoteRecord, prev_vote: VoteRecord, v_prime: View, value: Value
-) -> bool:
+def claims_safe(vote: VoteRecord, prev_vote: VoteRecord, v_prime: View, value: Value) -> bool:
     """Algorithm 1 / Rules 2 and 4: does one history claim ``value`` safe at ``v_prime``?
 
     ``vote``/``prev_vote`` are the highest and second-highest
@@ -193,11 +191,7 @@ def proposal_is_safe(
         }
         if not quorum_system.is_quorum(quorum_ok):
             continue
-        claimers = {
-            sender
-            for sender, p in proofs.items()
-            if proof_claims_safe(p, v_prime, value)
-        }
+        claimers = {sender for sender, p in proofs.items() if proof_claims_safe(p, v_prime, value)}
         if quorum_system.is_blocking(claimers):
             return True
 

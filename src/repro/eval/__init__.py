@@ -19,6 +19,7 @@ from repro.eval.engine_matrix import (
     run_engine_smoke,
 )
 from repro.eval.fig1_lemmas import LemmaChainResult, run_lemma_chain
+from repro.eval.net_bench import NetRow, run_net_cell, run_net_grid, run_net_smoke
 from repro.eval.fig2_pipeline import PipelineResult, run_pipeline
 from repro.eval.fig3_viewchange import ViewChangeResult, run_viewchange
 from repro.eval.responsiveness import ResponsivenessPoint, run_responsiveness
@@ -32,6 +33,7 @@ __all__ = [
     "AttackRow",
     "CampaignRunner",
     "LemmaChainResult",
+    "NetRow",
     "PROTOCOLS",
     "PipelineResult",
     "ProtocolEntry",
@@ -48,6 +50,9 @@ __all__ = [
     "run_engine_matrix",
     "run_engine_smoke",
     "run_lemma_chain",
+    "run_net_cell",
+    "run_net_grid",
+    "run_net_smoke",
     "run_pipeline",
     "run_responsiveness",
     "run_scaling",

@@ -90,9 +90,7 @@ class AttackRow:
         return "UNSAFE"
 
 
-def place_adversaries(
-    n: int, f: int, seed: int = 0, avoid: Iterable[int] = ()
-) -> tuple[int, ...]:
+def place_adversaries(n: int, f: int, seed: int = 0, avoid: Iterable[int] = ()) -> tuple[int, ...]:
     """Deterministic f-bounded adversary placement.
 
     Samples ``f`` distinct ids from ``0..n-1`` minus ``avoid`` (the
@@ -104,9 +102,7 @@ def place_adversaries(
     rng = random.Random(seed * 9_176_141 + n)
     candidates = [i for i in range(n) if i not in set(avoid)]
     if f > len(candidates):
-        raise ValueError(
-            f"cannot place {f} adversaries among {len(candidates)} candidates"
-        )
+        raise ValueError(f"cannot place {f} adversaries among {len(candidates)} candidates")
     return tuple(sorted(rng.sample(candidates, f)))
 
 
@@ -151,9 +147,7 @@ def run_attack_cell(
         for i in range(n)
     ]
     sim.add_nodes(list(replicas))
-    injected = build_workload("uniform", txns, batch, seed=seed).inject(
-        sim, replicas
-    )
+    injected = build_workload("uniform", txns, batch, seed=seed).inject(sim, replicas)
     honest = [i for i in range(n) if i not in faulty and i not in excluded]
     throughput = trackers.throughput
     start = time.perf_counter()
@@ -163,9 +157,7 @@ def run_attack_cell(
         stop_check_interval=64,
     )
     wall = time.perf_counter() - start
-    report = SafetyAuditor(expected_txns=injected).audit(
-        [replicas[i] for i in honest]
-    )
+    report = SafetyAuditor(expected_txns=injected).audit([replicas[i] for i in honest])
     return AttackRow(
         attack=attack,
         engine=engine,
@@ -235,9 +227,7 @@ def run_attack_smoke(txns: int = 30, batch: int = 10) -> list[AttackRow]:
 
 def run_attack_grid(txns: int = 30, batch: int = 10) -> list[AttackRow]:
     """The full campaign: attack × engine × scenario × n ∈ CAMPAIGN_NS."""
-    return CampaignRunner(
-        scenarios=SMR_SCENARIOS, ns=CAMPAIGN_NS, txns=txns, batch=batch
-    ).run()
+    return CampaignRunner(scenarios=SMR_SCENARIOS, ns=CAMPAIGN_NS, txns=txns, batch=batch).run()
 
 
 def attack_record(row: AttackRow) -> dict:
@@ -259,9 +249,7 @@ def attack_record(row: AttackRow) -> dict:
     }
 
 
-def write_attack_records(
-    rows: list[AttackRow], key: str, path: Path = BENCH_PATH
-) -> None:
+def write_attack_records(rows: list[AttackRow], key: str, path: Path = BENCH_PATH) -> None:
     """Merge the campaign's verdicts under ``key`` into ``path``."""
     merge_record(path, key, [attack_record(row) for row in rows])
 

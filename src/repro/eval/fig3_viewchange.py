@@ -66,9 +66,7 @@ def run_viewchange(
     stayed up)."""
     base = ProtocolConfig.create(n)
     config = MultiShotConfig(base=base, max_slots=max_slots)
-    policy = TargetedDropPolicy(
-        SynchronousDelays(1.0), silence_nodes([crashed]), end=crash_end
-    )
+    policy = TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([crashed]), end=crash_end)
     sim = Simulation(policy, trace_enabled=True)
     for i in range(n):
         sim.add_node(MultiShotNode(i, config))

@@ -64,11 +64,7 @@ def _run_equivocation(vote4_ledger: bool, seed: int = 0, horizon: float = 800.0)
     sim = Simulation(UniformRandomDelays(0.2, 1.0, seed=seed))
     sim.add_node(EquivocatingLeader(0, config, "evil-A", "evil-B"))
     for i in range(1, 4):
-        sim.add_node(
-            TetraBFTNode(
-                i, config, initial_value=f"val-{i}", vote4_ledger=vote4_ledger
-            )
-        )
+        sim.add_node(TetraBFTNode(i, config, initial_value=f"val-{i}", vote4_ledger=vote4_ledger))
     sim.run_until_all_decided(node_ids=[1, 2, 3], until=horizon)
     return sim.metrics.latency.all_decided([1, 2, 3])
 
@@ -81,9 +77,7 @@ def _run_lossy_start(retransmission: bool, seed: int = 0, horizon: float = 1500.
     synchronization never completes for some schedules.
     """
     config = ProtocolConfig.create(4)
-    policy = PartialSynchronyPolicy(
-        gst=40.0, delta=1.0, loss_before_gst=0.9, seed=seed
-    )
+    policy = PartialSynchronyPolicy(gst=40.0, delta=1.0, loss_before_gst=0.9, seed=seed)
     sim = Simulation(policy)
     for i in range(4):
         sim.add_node(

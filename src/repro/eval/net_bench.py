@@ -1,0 +1,300 @@
+"""Experiment A7 — deployed clusters: real processes, real sockets.
+
+Every experiment so far measures the protocol inside one interpreter;
+this one deploys it.  Each cell spawns one OS process per replica
+(:mod:`repro.net.cluster`), serializes every protocol message through
+the versioned wire codec, drives an A4 transaction workload over TCP
+against the cluster's client ports, and reports what deployed systems
+are judged on — **wall-clock** end-to-end commit latency (submit at
+the client socket → CommitAck from each replica) and sustained
+transactions per second.
+
+Scenarios:
+
+* ``lan`` — localhost links with a small uniform injected latency
+  (real localhost RTTs are tens of microseconds — far below any
+  interesting Δ geometry);
+* ``geo`` — the A1b geo region matrix carried over as per-link
+  injected latencies, scaled by the cluster's ``time_scale``;
+* ``crash`` — ``lan`` plus one replica SIGTERMed halfway through the
+  workload: n=4 tolerates f=1, so the survivors must still finalize
+  everything.
+
+Cross-validation is not optional: every cell's collected finalized
+chains, state digests and applied-transaction logs go through the same
+:class:`~repro.verification.audit.SafetyAuditor` the simulated attack
+campaign uses — agreement, no-fork, hash linkage, execute-once and
+replay determinism must hold over real sockets exactly as in
+simulation, and ``python -m repro net`` exits nonzero if any cell
+fails its audit.
+
+Results persist to ``BENCH_net.json`` (smoke key ``net_smoke``; the
+``REPRO_HEAVY=1`` grid — n ∈ {4, 7}, every workload × scenario, plus a
+cross-engine slice — under ``net_grid``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.eval.report import format_table, merge_record
+from repro.eval.scaling import _GEO_LATENCY, _GEO_REGIONS
+from repro.eval.smr_bench import build_workload
+from repro.metrics.smr_trackers import nearest_rank_percentiles
+from repro.net.cluster import (
+    ClusterConfig,
+    NetRunResult,
+    run_cluster_workload,
+    schedule_from_workload,
+)
+from repro.verification.audit import SafetyAuditor
+
+#: Cluster sizes of the heavy grid (each cell spawns n OS processes;
+#: n=7 is the smallest size tolerating f=2).
+NET_NS = (4, 7)
+
+NET_SCENARIOS = ("lan", "geo", "crash")
+
+NET_WORKLOADS = ("uniform", "bursty", "hotkey")
+
+#: Seconds of wall clock per protocol Δ.
+TIME_SCALE = 0.05
+
+#: Injected one-way link latency for the lan scenario, seconds.
+LAN_LATENCY = 0.002
+
+#: BENCH record, anchored at the repo root like the other BENCH files.
+BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_net.json"
+
+
+@dataclass
+class NetRow:
+    """One (engine, workload, scenario, n) cell of the deployment bench."""
+
+    engine: str
+    workload: str
+    scenario: str
+    n: int
+    txns: int
+    committed: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    wall_seconds: float
+    blocks: int
+    killed: tuple[int, ...]
+    safe: bool
+    live: bool
+    checks: dict[str, bool]
+
+    @property
+    def txns_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.committed / self.wall_seconds
+
+    @property
+    def verdict(self) -> str:
+        if self.safe and self.live:
+            return "safe+live"
+        if self.safe:
+            return "safe"
+        return "UNSAFE"
+
+
+def _wall_percentiles(samples: list[float]) -> dict[int, float]:
+    """Nearest-rank percentiles of wall-clock samples, in milliseconds."""
+    raw = nearest_rank_percentiles(samples)
+    return {p: value * 1000.0 for p, value in raw.items()}
+
+
+def geo_overrides(n: int, time_scale: float) -> tuple[tuple[int, int, float], ...]:
+    """The A1b geo region matrix as per-link wall-clock latencies.
+
+    Nodes round-robin over the four regions exactly as in the
+    simulated geo scenario; Δ-denominated link latencies scale by
+    ``time_scale`` into seconds (jitter is left to the real network).
+    """
+    region = {i: _GEO_REGIONS[i % len(_GEO_REGIONS)] for i in range(n)}
+    pairs = []
+    for src in range(n):
+        for dst in range(n):
+            key = (region[src], region[dst])
+            delay = _GEO_LATENCY.get(key) or _GEO_LATENCY.get((key[1], key[0]), 0.8)
+            pairs.append((src, dst, delay * time_scale))
+    return tuple(pairs)
+
+
+def run_net_cell(
+    workload_name: str,
+    scenario: str,
+    n: int,
+    engine: str = "tetrabft",
+    txns: int = 40,
+    batch: int = 10,
+    seed: int = 0,
+    time_scale: float = TIME_SCALE,
+    deadline: float = 30.0,
+) -> NetRow:
+    """One deployed run: n processes, one workload, one link scenario."""
+    if scenario not in NET_SCENARIOS:
+        raise ValueError(f"unknown net scenario {scenario!r}")
+    overrides: tuple[tuple[int, int, float], ...] = ()
+    latency = LAN_LATENCY
+    if scenario == "geo":
+        overrides = geo_overrides(n, time_scale)
+        latency = 0.8 * time_scale
+    kill_after = None
+    if scenario == "crash":
+        # The highest id is never a low-slot leader: killing it stalls
+        # quorums, not every proposal, matching the simulated scenario.
+        kill_after = (n - 1, 0.5)
+    config = ClusterConfig(
+        n=n,
+        engine=engine,
+        time_scale=time_scale,
+        link_latency=latency,
+        latency_overrides=overrides,
+        batch=batch,
+        deadline=deadline,
+    )
+    schedule = schedule_from_workload(build_workload(workload_name, txns, batch, seed=seed))
+    result = run_cluster_workload(config, schedule, kill_after=kill_after)
+    return _row_from_result(engine, workload_name, scenario, n, result)
+
+
+def _row_from_result(
+    engine: str, workload: str, scenario: str, n: int, result: NetRunResult
+) -> NetRow:
+    report = SafetyAuditor(expected_txns=result.injected).audit_evidence(result.evidence)
+    percentiles = _wall_percentiles(result.latency_samples)
+    blocks = min((reply.blocks_applied for reply in result.replies.values()), default=0)
+    live = bool(report.live) and not result.unexpected_deaths
+    return NetRow(
+        engine=engine,
+        workload=workload,
+        scenario=scenario,
+        n=n,
+        txns=result.injected,
+        committed=result.committed,
+        p50_ms=percentiles[50],
+        p95_ms=percentiles[95],
+        p99_ms=percentiles[99],
+        wall_seconds=result.measure_seconds,
+        blocks=blocks,
+        killed=result.killed,
+        safe=report.safe,
+        live=live,
+        checks=dict(report.checks),
+    )
+
+
+def run_net_smoke(txns: int = 40, batch: int = 10) -> list[NetRow]:
+    """The CI-sized slice: n=4 TetraBFT, every workload on lan, plus
+    the crash cell that demonstrates f=1 fault tolerance end to end."""
+    rows = [run_net_cell(workload, "lan", 4, txns=txns, batch=batch) for workload in NET_WORKLOADS]
+    rows.append(run_net_cell("uniform", "crash", 4, txns=txns, batch=batch))
+    return rows
+
+
+def run_net_grid(txns: int = 60, batch: int = 10) -> list[NetRow]:
+    """The heavy grid: n ∈ {4, 7} × workload × scenario for TetraBFT,
+    plus every chained baseline on the uniform/lan slice."""
+    rows = [
+        run_net_cell(workload, scenario, n, txns=txns, batch=batch)
+        for n in NET_NS
+        for workload in NET_WORKLOADS
+        for scenario in NET_SCENARIOS
+    ]
+    for engine in ("pbft", "ithotstuff", "li"):
+        rows.append(run_net_cell("uniform", "lan", 4, engine=engine, txns=txns, batch=batch))
+    return rows
+
+
+def net_record(row: NetRow) -> dict:
+    """One NetRow as a BENCH_net.json cell."""
+    return {
+        "engine": row.engine,
+        "workload": row.workload,
+        "scenario": row.scenario,
+        "n": row.n,
+        "txns": row.txns,
+        "committed": row.committed,
+        "p50_ms": row.p50_ms,
+        "p95_ms": row.p95_ms,
+        "p99_ms": row.p99_ms,
+        "txns_per_sec": row.txns_per_sec,
+        "wall_seconds": row.wall_seconds,
+        "blocks": row.blocks,
+        "killed": list(row.killed),
+        "safe": row.safe,
+        "live": row.live,
+        "checks": dict(row.checks),
+    }
+
+
+def write_net_records(rows: list[NetRow], key: str, path: Path = BENCH_PATH) -> None:
+    merge_record(path, key, [net_record(row) for row in rows])
+
+
+def format_net_report(rows: list[NetRow]) -> str:
+    return format_table(
+        [
+            {
+                "engine": row.engine,
+                "workload": row.workload,
+                "scenario": row.scenario,
+                "n": row.n,
+                "txns": row.txns,
+                "committed": row.committed,
+                "p50(ms)": row.p50_ms,
+                "p95(ms)": row.p95_ms,
+                "p99(ms)": row.p99_ms,
+                "txn/s": row.txns_per_sec,
+                "blk": row.blocks,
+                "verdict": row.verdict,
+            }
+            for row in rows
+        ],
+        columns=[
+            "engine",
+            "workload",
+            "scenario",
+            "n",
+            "txns",
+            "committed",
+            "p50(ms)",
+            "p95(ms)",
+            "p99(ms)",
+            "txn/s",
+            "blk",
+            "verdict",
+        ],
+        title="A7 — deployed clusters over TCP (wall clock, audited)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    if os.environ.get("REPRO_HEAVY"):
+        rows = run_net_grid()
+        key = "net_grid"
+    else:
+        rows = run_net_smoke()
+        key = "net_smoke"
+        print("(smoke slice: n=4 lan + crash — REPRO_HEAVY=1 for the full grid)")
+    print(format_net_report(rows))
+    write_net_records(rows, key)
+    failed = [row for row in rows if not (row.safe and row.live)]
+    if failed:
+        print(
+            "FAILED cells: "
+            f"{[(r.engine, r.workload, r.scenario, r.n, r.verdict) for r in failed]}"
+        )
+        raise SystemExit(1)
+    print(f"all {len(rows)} deployed cells passed the safety audit")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -11,6 +11,8 @@ experiments and the benchmark harness alike.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -20,6 +22,12 @@ def merge_record(path: Path, key: str, payload: object) -> None:
 
     Records written by other keys are left in place; a missing or
     malformed file is replaced wholesale.
+
+    The write is atomic: the merged document goes to a temporary file
+    in the same directory and is ``os.replace``d into place, so a run
+    interrupted mid-write can never leave a truncated ``BENCH_*.json``
+    behind to poison the CI regression gate — readers see either the
+    old complete record or the new complete record.
     """
     try:
         data = json.loads(path.read_text())
@@ -28,17 +36,24 @@ def merge_record(path: Path, key: str, payload: object) -> None:
     except (OSError, ValueError):
         data = {}
     data[key] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    rendered = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    fd, tmp_path = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(rendered)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
-def format_table(
-    rows: Sequence[dict], columns: Sequence[str], title: str = ""
-) -> str:
+def format_table(rows: Sequence[dict], columns: Sequence[str], title: str = "") -> str:
     """Monospace table with a header row, sized to the widest cell."""
     headers = list(columns)
-    rendered = [
-        [_fmt(row.get(col, "")) for col in columns] for row in rows
-    ]
+    rendered = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
         for i in range(len(columns))

@@ -40,16 +40,12 @@ def _decision_latency(factory, delta_actual: float, delta_bound: float) -> float
     per-message delay ``delta_actual`` and configured bound Δ."""
     n = 4
     config = ProtocolConfig.create(n, delta=delta_bound)
-    policy = TargetedDropPolicy(
-        SynchronousDelays(delta_actual), silence_nodes([0])
-    )
+    policy = TargetedDropPolicy(SynchronousDelays(delta_actual), silence_nodes([0]))
     sim = Simulation(policy)
     for i in range(n):
         sim.add_node(factory(i, config))
     sim.run_until_all_decided(node_ids=list(range(1, n)), until=40 * delta_bound)
-    decided_at = max(
-        sim.metrics.latency.decision_times[i] for i in range(1, n)
-    )
+    decided_at = max(sim.metrics.latency.decision_times[i] for i in range(1, n))
     return decided_at - config.view_timeout
 
 
@@ -86,10 +82,7 @@ def main() -> None:  # pragma: no cover - CLI entry
     print(f"A2 — responsiveness (Δ bound = {delta_bound}, sweeping actual δ)")
     print("  δ      TetraBFT (resp.)   IT-HS blog (non-resp.)")
     for p in run_responsiveness(delta_bound):
-        print(
-            f"  {p.delta_actual:<5} {p.tetrabft_latency:>10.1f}"
-            f" {p.blog_latency:>18.1f}"
-        )
+        print(f"  {p.delta_actual:<5} {p.tetrabft_latency:>10.1f}" f" {p.blog_latency:>18.1f}")
     print("  (responsive latency ∝ δ; non-responsive flattens near Δ)")
 
 

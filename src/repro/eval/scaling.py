@@ -143,9 +143,7 @@ class ThroughputRow:
         return self.events / self.wall_seconds
 
 
-def measure_throughput(
-    scenario: str, n: int, stop_check_interval: int = 64
-) -> ThroughputRow:
+def measure_throughput(scenario: str, n: int, stop_check_interval: int = 64) -> ThroughputRow:
     """One full TetraBFT run at size n; returns the event-core rate."""
     policy, excluded = scenario_policy(scenario, n)
     config = ProtocolConfig.create(n)

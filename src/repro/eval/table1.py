@@ -182,9 +182,7 @@ def run_table1(
         short_storage, long_storage = measure_storage_growth(
             entry, n, short=storage_runs[0], long=storage_runs[1]
         )
-        storage_class = (
-            "O(1)" if long_storage <= short_storage * 1.5 else "unbounded"
-        )
+        storage_class = "O(1)" if long_storage <= short_storage * 1.5 else "unbounded"
         per_node_bytes = [measure_bytes_for_n(entry, m) for m in sweep]
         exponent = fit_growth_exponent(list(sweep), [float(b) for b in per_node_bytes])
         rows.append(

@@ -36,9 +36,7 @@ class TimeoutPoint:
     views_entered: int
 
 
-def run_timeout_point(
-    timeout_delays: float, n: int = 4, horizon: float = 400.0
-) -> TimeoutPoint:
+def run_timeout_point(timeout_delays: float, n: int = 4, horizon: float = 400.0) -> TimeoutPoint:
     config = ProtocolConfig.create(n, delta=1.0, timeout_delays=timeout_delays)
     # Crash the first leader; skew delivery so half the nodes always
     # see messages a full Δ late — the worst case the 9Δ budget covers.

@@ -59,9 +59,7 @@ def inductive_step_pass(
     is preserved.  This is precisely the shape of the Apalache check:
     Inv ∧ Next ⇒ Inv′.
     """
-    max_round = (
-        max_round_for_votes if max_round_for_votes is not None else config.max_round
-    )
+    max_round = max_round_for_votes if max_round_for_votes is not None else config.max_round
     vote_pool = [
         (rnd, phase, value)
         for rnd in range(max_round + 1)
@@ -74,19 +72,13 @@ def inductive_step_pass(
     # while covering every phase/round/value interaction pairwise.
     small_sets = [frozenset()]
     small_sets += [frozenset([v]) for v in vote_pool]
-    small_sets += [
-        frozenset(pair) for pair in itertools.combinations(vote_pool, 2)
-    ]
+    small_sets += [frozenset(pair) for pair in itertools.combinations(vote_pool, 2)]
     per_process = itertools.product(small_sets, repeat=config.honest)
     for votes in per_process:
         if states_checked >= limit:
             break
-        max_vote_round = [
-            max((vt[0] for vt in vs), default=-1) for vs in votes
-        ]
-        state = ModelState(
-            rounds=tuple(max_vote_round), votes=tuple(votes)
-        )
+        max_vote_round = [max((vt[0] for vt in vs), default=-1) for vs in votes]
+        state = ModelState(rounds=tuple(max_vote_round), votes=tuple(votes))
         if not consistency_invariant(state, config):
             continue
         if not consistency(state, config):
@@ -104,9 +96,7 @@ def run_verification(
     liveness_config: ModelConfig | None = None,
     max_states: int = 400_000,
 ) -> VerificationSummary:
-    explore_config = explore_config or ModelConfig(
-        n=4, f=1, num_values=2, max_round=1
-    )
+    explore_config = explore_config or ModelConfig(n=4, f=1, num_values=2, max_round=1)
     liveness_config = liveness_config or ModelConfig(
         n=4, f=1, num_values=2, max_round=1, byz_support=False, good_round=1
     )

@@ -28,6 +28,26 @@ from dataclasses import dataclass, field
 PERCENTILES = (50, 95, 99)
 
 
+def nearest_rank_percentiles(
+    samples: list[float], points: tuple[int, ...] = PERCENTILES
+) -> dict[int, float]:
+    """Nearest-rank percentiles of raw samples (NaN when empty).
+
+    The one implementation behind every latency table — the simulated
+    SMR experiments (Δ-denominated) and the deployed net bench
+    (wall-clock) must aggregate identically, differing only in the
+    unit scaling their callers apply.
+    """
+    if not samples:
+        return {p: math.nan for p in points}
+    ordered = sorted(samples)
+    out = {}
+    for p in points:
+        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+        out[p] = ordered[rank]
+    return out
+
+
 class LatencyTracker:
     """Submit→finalize latency samples across a replica cluster.
 
@@ -64,14 +84,8 @@ class LatencyTracker:
         self, delta: float = 1.0, points: tuple[int, ...] = PERCENTILES
     ) -> dict[int, float]:
         """Nearest-rank latency percentiles, in message-delay units."""
-        if not self._samples:
-            return {p: math.nan for p in points}
-        ordered = sorted(self._samples)
-        out = {}
-        for p in points:
-            rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
-            out[p] = ordered[rank] / delta
-        return out
+        raw = nearest_rank_percentiles(self._samples, points)
+        return {p: value / delta for p, value in raw.items()}
 
 
 class ThroughputTracker:
@@ -83,9 +97,7 @@ class ThroughputTracker:
         self._mempool_peak: dict[int, int] = {}
         self.last_commit_time = 0.0
 
-    def record_block(
-        self, node: int, slot: int, txns: int, mempool_size: int, time: float
-    ) -> None:
+    def record_block(self, node: int, slot: int, txns: int, mempool_size: int, time: float) -> None:
         del slot
         self._blocks[node] += 1
         self._txns[node] += txns
@@ -137,9 +149,7 @@ class SMRTrackers:
     def record_commit(self, node: int, txid: str, time: float) -> None:
         self.latency.record_commit(node, txid, time)
 
-    def record_block(
-        self, node: int, slot: int, txns: int, mempool_size: int, time: float
-    ) -> None:
+    def record_block(self, node: int, slot: int, txns: int, mempool_size: int, time: float) -> None:
         self.throughput.record_block(node, slot, txns, mempool_size, time)
 
     def record_mempool(self, node: int, size: int) -> None:

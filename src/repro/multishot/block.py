@@ -109,8 +109,6 @@ class BlockStore:
 
     def prune_below(self, slot: int, keep: set[Digest]) -> None:
         """Drop block bodies for slots below ``slot`` except ``keep``."""
-        victims = [
-            d for d, b in self._by_digest.items() if b.slot < slot and d not in keep
-        ]
+        victims = [d for d, b in self._by_digest.items() if b.slot < slot and d not in keep]
         for digest in victims:
             del self._by_digest[digest]

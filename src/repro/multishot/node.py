@@ -354,9 +354,7 @@ class MultiShotNode(SimNode):
     def _record_vote_phases(self, slot: int, view: int, digest: Digest) -> None:
         """Map one pipelined vote onto the four single-shot phases."""
         current: Digest | None = digest
-        for offset, phase in enumerate(
-            (Phase.VOTE1, Phase.VOTE2, Phase.VOTE3, Phase.VOTE4)
-        ):
+        for offset, phase in enumerate((Phase.VOTE1, Phase.VOTE2, Phase.VOTE3, Phase.VOTE4)):
             target_slot = slot - offset
             if target_slot < 1 or current is None or current == GENESIS_DIGEST:
                 break
@@ -385,9 +383,7 @@ class MultiShotNode(SimNode):
         supporters.add(sender)
         if self._qs().is_quorum(supporters) and vote.view not in state.notarized_by_view:
             state.notarized_by_view[vote.view] = vote.digest
-            self.ctx.trace(
-                TraceKind.NOTARIZE, slot=vote.slot, view=vote.view, value=vote.digest
-            )
+            self.ctx.trace(TraceKind.NOTARIZE, slot=vote.slot, view=vote.view, value=vote.digest)
             newly_final = self.chain.notarize(vote.slot, vote.digest)
             self._handle_finalized(newly_final)
             # A fresh notarization can unlock the next slot's vote and
@@ -426,7 +422,7 @@ class MultiShotNode(SimNode):
         keep = {b.digest for b in self.chain.finalized}
         self.store.prune_below(max(0, horizon), keep)
 
-    # -- view change (Algorithm 2) ------------------------------------------------------------------
+    # -- view change (Algorithm 2) ---------------------------------------------
 
     def _on_view_change(self, sender: NodeId, message: MSViewChange) -> None:
         slot, view = message.slot, message.view
@@ -463,9 +459,7 @@ class MultiShotNode(SimNode):
             self.ctx.trace(TraceKind.VIEW_ENTER, slot=slot, view=view)
             suggest = state.storage.make_suggest(view)
             proof = state.storage.make_proof(view)
-            self.ctx.broadcast(
-                MSProof(slot, view, proof.vote1, proof.prev_vote1, proof.vote4)
-            )
+            self.ctx.broadcast(MSProof(slot, view, proof.vote1, proof.prev_vote1, proof.vote4))
             self.ctx.send(
                 self.config.leader_of(slot, view),
                 MSSuggest(slot, view, suggest.vote2, suggest.prev_vote2, suggest.vote3),
@@ -474,7 +468,7 @@ class MultiShotNode(SimNode):
             self._maybe_propose(slot)
             self._maybe_vote(slot)
 
-    # -- suggest / proof --------------------------------------------------------------------------------
+    # -- suggest / proof -------------------------------------------------------
 
     def _on_suggest(self, sender: NodeId, message: MSSuggest) -> None:
         state = self.slot_state(message.slot)

@@ -1,0 +1,455 @@
+"""Multiprocess cluster launcher and workload driver.
+
+:func:`run_cluster_workload` is the one-call deployment run the A7
+experiment and the tests use: it spawns one OS process per replica
+(:mod:`repro.net.replica_main`), connects to every replica's client
+port, drives a timestamped transaction schedule over TCP, measures
+wall-clock submit→execute latency from commit acknowledgements, and
+finally collects every surviving replica's finalized chain, state
+digest and applied-transaction log — the evidence the
+:class:`~repro.verification.audit.SafetyAuditor` replays.
+
+Fault injection is first-class: ``kill_after`` terminates one replica
+(SIGTERM, no goodbye) once a fraction of the workload has been
+submitted, which is how the bench demonstrates that an n=4 deployment
+finalizes through the loss of f=1 replica over real sockets.
+
+The chain budget note: over sockets the pipeline advances one slot per
+*actual* link delay, not per Δ, so leaders burn empty slots whenever
+the mempool idles.  The launcher therefore gives TetraBFT a chain
+budget sized to the whole run (slots are cheap — per-slot state is
+pruned behind the finalized tip) instead of the simulator's tight
+``slots_needed + slack`` sizing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import socket
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.codec import (
+    WIRE_CODEC,
+    ClientSubmit,
+    CollectReply,
+    CollectRequest,
+    CommitAck,
+    FrameBuffer,
+    StartRun,
+)
+from repro.net.replica_main import ReplicaSpec, run_replica
+from repro.smr.engine import ENGINE_NAMES
+from repro.smr.mempool import Transaction
+from repro.verification.audit import ReplicaEvidence
+
+#: Wall-clock seconds the driver waits for client ports to accept.
+CONNECT_TIMEOUT = 15.0
+
+#: Wall-clock seconds the driver waits for a CollectReply.
+COLLECT_TIMEOUT = 15.0
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of one deployed cluster run."""
+
+    n: int
+    engine: str = "tetrabft"
+    host: str = "127.0.0.1"
+    #: Seconds of wall clock per protocol Δ (timers scale by this).
+    time_scale: float = 0.05
+    #: Injected one-way link latency in seconds (scalar default).
+    link_latency: float = 0.002
+    #: Per-(src, dst) latency overrides in seconds.
+    latency_overrides: tuple[tuple[int, int, float], ...] = ()
+    batch: int = 10
+    #: Chain budget for engines that need one (None = engine default /
+    #: unbounded for the chained baselines); sized by the launcher when
+    #: left at 0.
+    max_slots: int | None = 0
+    #: Hard wall-clock deadline for the whole run, seconds.
+    deadline: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"cluster needs n >= 1, got {self.n}")
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {', '.join(ENGINE_NAMES)}"
+            )
+        if self.time_scale <= 0:
+            raise ConfigurationError("time_scale must be positive")
+
+
+@dataclass
+class NetRunResult:
+    """Everything one deployed run produced."""
+
+    injected: int
+    #: Wall-clock submit→execute latency samples, one per
+    #: (replica, transaction) observation — the simulator's metric.
+    latency_samples: list[float]
+    #: txids acked per replica id.
+    acked: dict[int, set[str]]
+    evidence: list[ReplicaEvidence]
+    replies: dict[int, CollectReply]
+    killed: tuple[int, ...]
+    #: Replicas that died without being killed on purpose.
+    unexpected_deaths: tuple[int, ...]
+    #: First submit → last required ack, seconds (the measurement
+    #: window txns/sec is computed over).
+    measure_seconds: float
+    #: Whether every live replica acked the full workload in time.
+    completed: bool
+
+    @property
+    def committed(self) -> int:
+        """Transactions executed by *every* live replica."""
+        live = [n for n in self.acked if n not in self.killed]
+        if not live:
+            return 0
+        return min(len(self.acked[n]) for n in live)
+
+    @property
+    def txns_per_sec(self) -> float:
+        if self.measure_seconds <= 0:
+            return 0.0
+        return self.committed / self.measure_seconds
+
+
+def allocate_ports(count: int, host: str = "127.0.0.1") -> list[int]:
+    """Reserve ``count`` distinct free TCP ports (bind-0, read, close)."""
+    sockets, ports = [], []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+def build_specs(config: ClusterConfig) -> list[ReplicaSpec]:
+    """Allocate ports and lay out one spec per replica process."""
+    ports = allocate_ports(2 * config.n, config.host)
+    peer_ports = ports[: config.n]
+    client_ports = ports[config.n :]
+    specs = []
+    for node_id in range(config.n):
+        peer_addrs = tuple(
+            (other, config.host, peer_ports[other])
+            for other in range(config.n)
+            if other != node_id
+        )
+        specs.append(
+            ReplicaSpec(
+                node_id=node_id,
+                n=config.n,
+                engine=config.engine,
+                host=config.host,
+                peer_port=peer_ports[node_id],
+                client_port=client_ports[node_id],
+                peer_addrs=peer_addrs,
+                time_scale=config.time_scale,
+                latency_default=config.link_latency,
+                latency_pairs=config.latency_overrides,
+                max_slots=config.max_slots,
+                batch=config.batch,
+            )
+        )
+    return specs
+
+
+def sized_max_slots(config: ClusterConfig, injected: int) -> int | None:
+    """Chain budget covering the whole wall-clock run.
+
+    Chained baselines run unbounded (slots finalize eagerly); TetraBFT
+    needs a finite budget, sized so empty-slot burn during mempool idle
+    can never exhaust it: one slot costs at least one link delay, so
+    ``deadline / link_latency`` bounds the slots any run can reach.
+    """
+    if config.engine != "tetrabft":
+        return None
+    per_slot = max(config.link_latency, 1e-3)
+    burn_budget = int(config.deadline / per_slot) + 1
+    return max(injected, 1) + 64 + burn_budget
+
+
+class _ClientConnection:
+    """Driver-side connection to one replica's client port."""
+
+    def __init__(self, node_id: int, driver: "_Driver") -> None:
+        self.node_id = node_id
+        self.driver = driver
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.reply: CollectReply | None = None
+        self.dead = False
+        self._task: asyncio.Task | None = None
+
+    async def connect(self, host: str, port: int) -> None:
+        deadline = time.monotonic() + CONNECT_TIMEOUT
+        while True:
+            try:
+                self.reader, self.writer = await asyncio.open_connection(host, port)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise SimulationError(
+                        f"replica {self.node_id} never opened its client port "
+                        f"{host}:{port} within {CONNECT_TIMEOUT}s"
+                    ) from None
+                await asyncio.sleep(0.05)
+        self._task = asyncio.ensure_future(self._read_loop())
+
+    def send(self, message: object) -> None:
+        self.send_frame(WIRE_CODEC.encode_frame(message))
+
+    def send_frame(self, frame: bytes) -> None:
+        if self.writer is not None and not self.writer.is_closing():
+            self.writer.write(frame)
+
+    async def _read_loop(self) -> None:
+        assert self.reader is not None
+        buffer = FrameBuffer(WIRE_CODEC)
+        try:
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                for message in buffer.feed(data):
+                    if isinstance(message, CommitAck):
+                        self.driver.on_ack(self.node_id, message)
+                    elif isinstance(message, CollectReply):
+                        self.reply = message
+                        self.driver.on_reply()
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            self.dead = True
+            self.driver.on_death(self.node_id)
+
+    def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+        if self.writer is not None:
+            self.writer.close()
+
+
+@dataclass
+class _Driver:
+    """Shared driver state the connections report into."""
+
+    expected: set[str] = field(default_factory=set)
+    acked: dict[int, set[str]] = field(default_factory=dict)
+    submit_times: dict[str, float] = field(default_factory=dict)
+    latency_samples: list[float] = field(default_factory=list)
+    last_ack_time: float = 0.0
+    live: set[int] = field(default_factory=set)
+    progress: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def on_ack(self, node_id: int, ack: CommitAck) -> None:
+        now = time.monotonic()
+        submitted = self.submit_times.get(ack.txid)
+        if submitted is None:
+            return  # an ack for a transaction we never sent (impossible today)
+        acked = self.acked.setdefault(node_id, set())
+        if ack.txid in acked:
+            return
+        acked.add(ack.txid)
+        self.latency_samples.append(now - submitted)
+        self.last_ack_time = now
+        self.progress.set()
+
+    def on_reply(self) -> None:
+        self.progress.set()
+
+    def on_death(self, node_id: int) -> None:
+        self.live.discard(node_id)
+        self.progress.set()
+
+    def all_acked(self) -> bool:
+        if not self.live:
+            return False
+        return all(self.expected <= self.acked.get(node_id, set()) for node_id in self.live)
+
+
+async def _drive(
+    config: ClusterConfig,
+    specs: list[ReplicaSpec],
+    schedule: list[tuple[float, Transaction]],
+    processes: list,
+    kill_after: tuple[int, float] | None,
+) -> NetRunResult:
+    driver = _Driver()
+    driver.live = set(range(config.n))
+    # Every replica gets an (initially empty) ack set up front, so a
+    # replica that never acks anything drags `committed` to zero
+    # instead of silently dropping out of the minimum.
+    driver.acked = {node_id: set() for node_id in range(config.n)}
+    connections = [_ClientConnection(spec.node_id, driver) for spec in specs]
+    await asyncio.gather(
+        *(
+            conn.connect(config.host, spec.client_port)
+            for conn, spec in zip(connections, specs)
+        )
+    )
+    for conn in connections:
+        conn.send(StartRun())
+
+    killed: list[int] = []
+    kill_at_index = None
+    if kill_after is not None:
+        kill_at_index = max(1, int(len(schedule) * kill_after[1]))
+
+    t0 = time.monotonic()
+    first_submit = None
+    for index, (at, txn) in enumerate(schedule):
+        if kill_at_index is not None and index == kill_at_index:
+            victim = kill_after[0]
+            processes[victim].terminate()
+            killed.append(victim)
+            driver.live.discard(victim)
+        wait = t0 + at * config.time_scale - time.monotonic()
+        if wait > 0:
+            await asyncio.sleep(wait)
+        now = time.monotonic()
+        if first_submit is None:
+            first_submit = now
+        driver.expected.add(txn.txid)
+        driver.submit_times.setdefault(txn.txid, now)
+        # One serialization per transaction, not per connection — the
+        # encode sits inside the measured latency window.
+        frame = WIRE_CODEC.encode_frame(ClientSubmit(txn))
+        for conn in connections:
+            if not conn.dead and conn.node_id not in killed:
+                conn.send_frame(frame)
+    # Kill scheduled past the end of the workload (fraction >= 1).
+    if kill_at_index is not None and kill_at_index >= len(schedule) and not killed:
+        victim = kill_after[0]
+        processes[victim].terminate()
+        killed.append(victim)
+        driver.live.discard(victim)
+
+    deadline = t0 + config.deadline
+    completed = False
+    while time.monotonic() < deadline:
+        if driver.all_acked():
+            completed = True
+            break
+        driver.progress.clear()
+        remaining = deadline - time.monotonic()
+        try:
+            await asyncio.wait_for(driver.progress.wait(), timeout=min(0.2, remaining))
+        except asyncio.TimeoutError:
+            pass
+
+    # Collect evidence from every replica still standing.
+    for conn in connections:
+        if not conn.dead and conn.node_id in driver.live:
+            conn.send(CollectRequest())
+    collect_deadline = time.monotonic() + COLLECT_TIMEOUT
+    while time.monotonic() < collect_deadline:
+        waiting = [
+            conn
+            for conn in connections
+            if conn.node_id in driver.live and conn.reply is None and not conn.dead
+        ]
+        if not waiting:
+            break
+        driver.progress.clear()
+        try:
+            await asyncio.wait_for(driver.progress.wait(), timeout=0.2)
+        except asyncio.TimeoutError:
+            pass
+
+    replies = {conn.node_id: conn.reply for conn in connections if conn.reply is not None}
+    evidence = [
+        ReplicaEvidence(
+            node_id=reply.node_id,
+            chain=tuple(reply.chain),
+            state_digest=reply.state_digest,
+            applied_txids=tuple(reply.applied_txids),
+        )
+        for reply in replies.values()
+    ]
+    for conn in connections:
+        conn.close()
+    unexpected = tuple(
+        sorted(
+            node_id
+            for node_id in range(config.n)
+            if node_id not in killed and node_id not in replies
+        )
+    )
+    measure_end = driver.last_ack_time or time.monotonic()
+    measure_start = first_submit if first_submit is not None else t0
+    return NetRunResult(
+        injected=len(driver.expected),
+        latency_samples=driver.latency_samples,
+        acked=driver.acked,
+        evidence=sorted(evidence, key=lambda ev: ev.node_id),
+        replies=replies,
+        killed=tuple(killed),
+        unexpected_deaths=unexpected,
+        measure_seconds=max(measure_end - measure_start, 0.0),
+        completed=completed,
+    )
+
+
+def run_cluster_workload(
+    config: ClusterConfig,
+    schedule: list[tuple[float, Transaction]],
+    kill_after: tuple[int, float] | None = None,
+) -> NetRunResult:
+    """One full deployment run: spawn, drive, measure, collect, reap.
+
+    ``schedule`` is (submit time in Δ, transaction) pairs, the same
+    shape the simulated workloads yield; submit times are scaled by
+    ``config.time_scale`` into wall clock.  ``kill_after=(node, frac)``
+    SIGTERMs ``node`` once ``frac`` of the schedule has been submitted.
+    """
+    if kill_after is not None and not 0 <= kill_after[0] < config.n:
+        raise ConfigurationError(f"kill victim {kill_after[0]} outside 0..{config.n - 1}")
+    if config.max_slots == 0:
+        config = replace(config, max_slots=sized_max_slots(config, len(schedule)))
+    ctx = multiprocessing.get_context("spawn")
+    # Port reservation is bind-then-close, so another process can steal
+    # a port between reservation and the replica's own bind.  A cluster
+    # that never opens its client ports raises before anything was
+    # measured; one relaunch with freshly reserved ports absorbs it.
+    for attempt in (0, 1):
+        specs = build_specs(config)
+        processes = [
+            ctx.Process(target=run_replica, args=(spec,), daemon=True)
+            for spec in specs
+        ]
+        for process in processes:
+            process.start()
+        try:
+            return asyncio.run(_drive(config, specs, schedule, processes, kill_after))
+        except SimulationError:
+            if attempt == 1:
+                raise
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=5.0)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def schedule_from_workload(workload) -> list[tuple[float, Transaction]]:
+    """Materialize a simulated workload's (time, txn) stream for the wire."""
+    return list(workload.transactions())

@@ -1,0 +1,431 @@
+"""Wire codec: deterministic, versioned, length-prefixed binary frames.
+
+The simulation passes message dataclasses between nodes as Python
+references; crossing a process boundary needs bytes.  This module is
+the single place the byte format is defined, with three properties the
+deployment subsystem leans on:
+
+* **Explicit registration** — every message class that may cross the
+  wire is registered under a stable numeric type id.  Encoding an
+  unregistered type is a hard :class:`CodecError`, never a silent
+  pickle fallback: the wire surface of the protocol stays enumerable,
+  auditable, and free of arbitrary-code-execution deserialization.
+* **Determinism** — the same message object always encodes to the same
+  bytes (fields are written in dataclass declaration order with a
+  tag-based value encoding), so encode→decode round-trips are
+  byte-stable and frames can be hashed for trace comparison.
+* **Versioning** — every frame carries a magic byte and a format
+  version; a mismatch is a hard error rather than a garbled decode, so
+  rolling a cluster across incompatible builds fails loudly.
+
+Frame layout (all integers big-endian)::
+
+    [u32 length] [u8 magic] [u8 version] [u16 type id] [payload]
+
+where ``length`` counts everything after the length word.  The payload
+is the message's fields, each encoded with a one-byte tag:
+
+    ``N`` None · ``T``/``F`` bool · ``I`` 64-bit int · ``J`` big int ·
+    ``D`` float · ``S`` str · ``B`` bytes · ``U`` tuple ·
+    ``P`` :class:`~repro.core.values.Phase` · ``C`` registered dataclass
+
+Sets, dicts and unregistered objects are rejected: their iteration
+order (or identity) would break byte stability.
+
+:func:`wire_codec` builds the default registry covering every
+wire-crossing dataclass in :mod:`repro.core.messages`,
+:mod:`repro.multishot.messages`, the baseline engines, and the net
+layer's own control frames; :data:`WIRE_CODEC` is the shared instance.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, fields, is_dataclass
+
+from repro.core.values import Phase
+from repro.errors import ReproError
+
+#: Bumped whenever the frame layout or a registered message's field set
+#: changes incompatibly.  Decoders reject every other version.
+WIRE_VERSION = 1
+
+#: First byte of every frame body; guards against a stray TCP client.
+MAGIC = 0xB7
+
+#: Upper bound on a single frame's body size.  A CollectReply carrying
+#: a long finalized chain is the largest legitimate frame; 32 MiB is
+#: orders of magnitude above it and still small enough to fail fast on
+#: a corrupt length word.
+MAX_FRAME = 32 * 1024 * 1024
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+class CodecError(ReproError):
+    """A message could not be encoded or a frame could not be decoded.
+
+    Raised for unregistered message types, unknown type ids, magic or
+    version mismatches, truncated or oversized frames, trailing bytes,
+    and values outside the deterministic encodable set.
+    """
+
+
+class _Reader:
+    """Cursor over one frame body; every read checks bounds."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise CodecError(
+                f"truncated frame: wanted {count} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos == len(self.data)
+
+
+class WireCodec:
+    """An explicit message-type registry plus the frame encoder/decoder."""
+
+    def __init__(self) -> None:
+        self._id_by_type: dict[type, int] = {}
+        self._type_by_id: dict[int, type] = {}
+        self._fields_by_type: dict[type, tuple[str, ...]] = {}
+
+    # -- registry -------------------------------------------------------------
+
+    def register(self, type_id: int, cls: type) -> None:
+        """Register ``cls`` (a dataclass) under ``type_id``.
+
+        Registration is explicit and collision-checked: the wire format
+        is a contract, not a reflection of whatever happens to import.
+        """
+        if not is_dataclass(cls):
+            raise CodecError(f"only dataclasses can cross the wire, got {cls!r}")
+        if type_id in self._type_by_id:
+            raise CodecError(
+                f"type id {type_id} already registered to "
+                f"{self._type_by_id[type_id].__name__}"
+            )
+        if cls in self._id_by_type:
+            raise CodecError(f"{cls.__name__} already registered")
+        if not 0 <= type_id <= 0xFFFF:
+            raise CodecError(f"type id must fit in 16 bits, got {type_id}")
+        self._id_by_type[cls] = type_id
+        self._type_by_id[type_id] = cls
+        self._fields_by_type[cls] = tuple(f.name for f in fields(cls))
+
+    @property
+    def registered_types(self) -> tuple[type, ...]:
+        """Every registered class, in type-id order."""
+        return tuple(self._type_by_id[i] for i in sorted(self._type_by_id))
+
+    def type_id_of(self, cls: type) -> int:
+        type_id = self._id_by_type.get(cls)
+        if type_id is None:
+            raise CodecError(
+                f"message type {cls.__name__} is not registered with the wire "
+                "codec; register it explicitly (unregistered types are a hard "
+                "error by design)"
+            )
+        return type_id
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, message: object) -> bytes:
+        """One frame body (magic + version + type id + payload)."""
+        type_id = self.type_id_of(type(message))
+        parts = [bytes((MAGIC, WIRE_VERSION)), _U16.pack(type_id)]
+        for name in self._fields_by_type[type(message)]:
+            self._encode_value(getattr(message, name), parts)
+        return b"".join(parts)
+
+    def encode_frame(self, message: object) -> bytes:
+        """A full length-prefixed frame, ready for a stream socket."""
+        body = self.encode(message)
+        if len(body) > MAX_FRAME:
+            raise CodecError(f"frame body of {len(body)} bytes exceeds MAX_FRAME")
+        return _U32.pack(len(body)) + body
+
+    def _encode_value(self, value: object, parts: list[bytes]) -> None:
+        # bool before int: bool is an int subclass.
+        if value is None:
+            parts.append(b"N")
+        elif value is True:
+            parts.append(b"T")
+        elif value is False:
+            parts.append(b"F")
+        elif isinstance(value, int) and not isinstance(value, Phase):
+            if _I64_MIN <= value <= _I64_MAX:
+                parts.append(b"I")
+                parts.append(_I64.pack(value))
+            else:
+                raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+                parts.append(b"J")
+                parts.append(_U32.pack(len(raw)))
+                parts.append(raw)
+        elif isinstance(value, float):
+            parts.append(b"D")
+            parts.append(_F64.pack(value))
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            parts.append(b"S")
+            parts.append(_U32.pack(len(raw)))
+            parts.append(raw)
+        elif isinstance(value, bytes):
+            parts.append(b"B")
+            parts.append(_U32.pack(len(value)))
+            parts.append(value)
+        elif isinstance(value, tuple):
+            parts.append(b"U")
+            parts.append(_U32.pack(len(value)))
+            for item in value:
+                self._encode_value(item, parts)
+        elif isinstance(value, Phase):
+            parts.append(b"P")
+            parts.append(bytes((value.value,)))
+        elif type(value) in self._id_by_type:
+            parts.append(b"C")
+            parts.append(_U16.pack(self._id_by_type[type(value)]))
+            for name in self._fields_by_type[type(value)]:
+                self._encode_value(getattr(value, name), parts)
+        else:
+            raise CodecError(
+                f"value {value!r} of type {type(value).__name__} has no "
+                "deterministic wire encoding (register the dataclass, or use "
+                "None/bool/int/float/str/bytes/tuple)"
+            )
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode(self, body: bytes) -> object:
+        """Decode one frame body back into its message object.
+
+        Every failure mode is a :class:`CodecError` — including garbled
+        value payloads (invalid UTF-8 in a string, an out-of-range
+        Phase byte, a dataclass rejecting its field values), which the
+        underlying constructors surface as ``ValueError``s.
+        """
+        try:
+            return self._decode_body(body)
+        except ValueError as exc:  # UnicodeDecodeError, Phase(...), ...
+            raise CodecError(f"garbled frame payload: {exc}") from exc
+
+    def _decode_body(self, body: bytes) -> object:
+        reader = _Reader(body)
+        header = reader.take(2)
+        if header[0] != MAGIC:
+            raise CodecError(
+                f"bad magic byte 0x{header[0]:02x} (expected 0x{MAGIC:02x}): "
+                "not a repro wire frame"
+            )
+        if header[1] != WIRE_VERSION:
+            raise CodecError(
+                f"wire version mismatch: frame is v{header[1]}, this build "
+                f"speaks v{WIRE_VERSION}"
+            )
+        (type_id,) = _U16.unpack(reader.take(2))
+        message = self._decode_struct(type_id, reader)
+        if not reader.exhausted:
+            raise CodecError(
+                f"{len(reader.data) - reader.pos} trailing bytes after "
+                f"decoding {type(message).__name__}"
+            )
+        return message
+
+    def _decode_struct(self, type_id: int, reader: _Reader) -> object:
+        cls = self._type_by_id.get(type_id)
+        if cls is None:
+            raise CodecError(f"unknown wire type id {type_id}")
+        values = [self._decode_value(reader) for _ in self._fields_by_type[cls]]
+        return cls(*values)
+
+    def _decode_value(self, reader: _Reader) -> object:
+        tag = reader.take(1)
+        if tag == b"N":
+            return None
+        if tag == b"T":
+            return True
+        if tag == b"F":
+            return False
+        if tag == b"I":
+            return _I64.unpack(reader.take(8))[0]
+        if tag == b"J":
+            (length,) = _U32.unpack(reader.take(4))
+            return int.from_bytes(reader.take(length), "big", signed=True)
+        if tag == b"D":
+            return _F64.unpack(reader.take(8))[0]
+        if tag == b"S":
+            (length,) = _U32.unpack(reader.take(4))
+            return reader.take(length).decode("utf-8")
+        if tag == b"B":
+            (length,) = _U32.unpack(reader.take(4))
+            return reader.take(length)
+        if tag == b"U":
+            (count,) = _U32.unpack(reader.take(4))
+            return tuple(self._decode_value(reader) for _ in range(count))
+        if tag == b"P":
+            return Phase(reader.take(1)[0])
+        if tag == b"C":
+            (type_id,) = _U16.unpack(reader.take(2))
+            return self._decode_struct(type_id, reader)
+        raise CodecError(f"unknown value tag {tag!r} at offset {reader.pos - 1}")
+
+
+class FrameBuffer:
+    """Reassembles length-prefixed frames from a byte stream.
+
+    Feed it whatever chunks the socket hands you; it yields every
+    complete decoded message and buffers the remainder.  A length word
+    beyond :data:`MAX_FRAME` is a hard error (a corrupt or hostile
+    stream must not make us buffer gigabytes).
+    """
+
+    def __init__(self, codec: "WireCodec") -> None:
+        self._codec = codec
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[object]:
+        self._buffer.extend(data)
+        messages: list[object] = []
+        while True:
+            if len(self._buffer) < 4:
+                return messages
+            (length,) = _U32.unpack(self._buffer[:4])
+            if length > MAX_FRAME:
+                raise CodecError(f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})")
+            if len(self._buffer) < 4 + length:
+                return messages
+            body = bytes(self._buffer[4 : 4 + length])
+            del self._buffer[: 4 + length]
+            messages.append(self._codec.decode(body))
+
+
+# -- net-layer control frames -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """First frame on every peer connection: who is dialing."""
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class ClientSubmit:
+    """Client → replica: inject one transaction into the mempool."""
+
+    txn: object  # a repro.smr.mempool.Transaction
+
+
+@dataclass(frozen=True)
+class StartRun:
+    """Driver → replica: every process is up, begin consensus."""
+
+
+@dataclass(frozen=True)
+class CommitAck:
+    """Replica → client: this replica executed ``txid`` in ``slot``."""
+
+    node_id: int
+    txid: str
+    slot: int
+
+
+@dataclass(frozen=True)
+class CollectRequest:
+    """Driver → replica: report your final state and shut down."""
+
+
+@dataclass(frozen=True)
+class CollectReply:
+    """A replica's end-of-run evidence (audit input) and counters."""
+
+    node_id: int
+    chain: tuple  # tuple[Block, ...]
+    state_digest: str
+    applied_txids: tuple  # tuple[str, ...]
+    blocks_applied: int
+    txns_applied: int
+
+
+def wire_codec() -> WireCodec:
+    """The default registry: every wire-crossing dataclass in the repo.
+
+    Type ids are part of the wire contract — append, never renumber
+    (renumbering is a :data:`WIRE_VERSION` bump).
+    """
+    from repro.baselines.base import BPhaseVote, BProposal, BRound, BViewChange
+    from repro.baselines.chained import CatchUp, SlotMessage
+    from repro.core.messages import (
+        Proof,
+        Proposal,
+        Suggest,
+        ViewChange,
+        Vote,
+        VoteRecord,
+    )
+    from repro.multishot.block import Block
+    from repro.multishot.messages import (
+        MSProof,
+        MSProposal,
+        MSSuggest,
+        MSViewChange,
+        MSVote,
+    )
+    from repro.smr.mempool import Transaction
+
+    codec = WireCodec()
+    # Net-layer control frames.
+    codec.register(1, Hello)
+    codec.register(2, ClientSubmit)
+    codec.register(3, StartRun)
+    codec.register(4, CommitAck)
+    codec.register(5, CollectRequest)
+    codec.register(6, CollectReply)
+    # Shared nested structures.
+    codec.register(16, VoteRecord)
+    codec.register(17, Block)
+    codec.register(18, Transaction)
+    # Basic (single-shot) TetraBFT.
+    codec.register(32, Proposal)
+    codec.register(33, Vote)
+    codec.register(34, Suggest)
+    codec.register(35, Proof)
+    codec.register(36, ViewChange)
+    # Multi-shot TetraBFT.
+    codec.register(48, MSProposal)
+    codec.register(49, MSVote)
+    codec.register(50, MSViewChange)
+    codec.register(51, MSSuggest)
+    codec.register(52, MSProof)
+    # Chained baseline engines (PBFT / IT-HotStuff / Li).
+    codec.register(64, BProposal)
+    codec.register(65, BPhaseVote)
+    codec.register(66, BViewChange)
+    codec.register(67, BRound)
+    codec.register(68, SlotMessage)
+    codec.register(69, CatchUp)
+    return codec
+
+
+#: The shared default codec every transport and cluster uses.
+WIRE_CODEC = wire_codec()

@@ -1,0 +1,209 @@
+"""Entry point of one replica OS process.
+
+Spawned by :mod:`repro.net.cluster` with a picklable
+:class:`ReplicaSpec`, this module assembles the same stack the
+simulator drives — a :class:`~repro.smr.replica.Replica` over any
+registered :class:`~repro.smr.engine.ConsensusEngine` — on top of a
+:class:`~repro.net.transport.NetTransport`, plus a client-facing TCP
+server:
+
+* peer frames are decoded and fed to ``replica.receive`` (buffered
+  until the driver's ``StartRun`` arrives — over real sockets a fast
+  peer's first proposal can beat the local start signal);
+* ``ClientSubmit`` frames go to ``replica.submit``;
+* every executed transaction is acknowledged to connected clients with
+  a ``CommitAck`` (the driver's wall-clock latency sample);
+* ``CollectRequest`` answers with a ``CollectReply`` carrying the
+  finalized chain, live state digest and applied-transaction log — the
+  exact :class:`~repro.verification.audit.ReplicaEvidence` fields the
+  safety auditor replays — then shuts the process down gracefully.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass
+
+from repro.core.config import ProtocolConfig
+from repro.metrics.smr_trackers import SMRTrackers
+from repro.net.codec import (
+    WIRE_CODEC,
+    ClientSubmit,
+    CodecError,
+    CollectReply,
+    CollectRequest,
+    CommitAck,
+    FrameBuffer,
+    StartRun,
+)
+from repro.net.transport import LinkLatency, NetContext, NetTransport
+from repro.smr.engine import engine_factory
+from repro.smr.mempool import Transaction
+from repro.smr.replica import Replica
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Everything one replica process needs, in picklable primitives."""
+
+    node_id: int
+    n: int
+    engine: str
+    host: str
+    peer_port: int
+    client_port: int
+    #: (peer id, host, port) triples for every *other* replica.
+    peer_addrs: tuple[tuple[int, str, int], ...]
+    time_scale: float
+    latency_default: float
+    latency_pairs: tuple[tuple[int, int, float], ...]
+    max_slots: int | None
+    batch: int
+
+    def build_latency(self) -> LinkLatency:
+        return LinkLatency.from_pairs(self.latency_default, self.latency_pairs)
+
+
+class _AckingTrackers(SMRTrackers):
+    """SMR trackers that also push a CommitAck per executed transaction."""
+
+    def __init__(self, ack) -> None:
+        super().__init__()
+        self._ack = ack
+
+    def record_commit(self, node: int, txid: str, time: float) -> None:
+        super().record_commit(node, txid, time)
+        self._ack(txid)
+
+
+class ReplicaProcess:
+    """The asyncio program one replica process runs."""
+
+    def __init__(self, spec: ReplicaSpec) -> None:
+        self.spec = spec
+        self.codec = WIRE_CODEC
+        factory = engine_factory(
+            spec.engine, ProtocolConfig.create(spec.n), max_slots=spec.max_slots
+        )
+        self.trackers = _AckingTrackers(self._ack_commit)
+        self.replica = Replica(
+            spec.node_id,
+            max_batch=spec.batch,
+            trackers=self.trackers,
+            engine_factory=factory,
+        )
+        self.transport = NetTransport(
+            spec.node_id,
+            spec.host,
+            spec.peer_port,
+            {pid: (host, port) for pid, host, port in spec.peer_addrs},
+            self._on_peer_message,
+            codec=self.codec,
+            latency=spec.build_latency(),
+        )
+        self.ctx = NetContext(spec.node_id, self.transport, spec.time_scale)
+        self._started = False
+        self._pre_start: list[tuple[int, object]] = []
+        self._current_slot = 0
+        self._clients: list[asyncio.StreamWriter] = []
+        self._done = asyncio.Event()
+
+    # -- consensus plumbing ---------------------------------------------------
+
+    def _on_peer_message(self, sender: int, message: object) -> None:
+        """Peer traffic; buffered until the driver says StartRun."""
+        if not self._started:
+            self._pre_start.append((sender, message))
+            return
+        self.replica.receive(sender, message)
+
+    def _start_consensus(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.ctx.start_clock()
+        self.replica.start(self.ctx)
+        backlog, self._pre_start = self._pre_start, []
+        for sender, message in backlog:
+            self.replica.receive(sender, message)
+
+    def _ack_commit(self, txid: str) -> None:
+        executed = self.replica.executed_blocks
+        slot = executed[-1].slot if executed else 0
+        frame = self.codec.encode_frame(CommitAck(self.spec.node_id, txid, slot))
+        for writer in self._clients:
+            if not writer.is_closing():
+                writer.write(frame)
+
+    def _collect_reply(self) -> CollectReply:
+        replica = self.replica
+        return CollectReply(
+            node_id=self.spec.node_id,
+            chain=tuple(replica.finalized_chain),
+            state_digest=replica.state_digest(),
+            applied_txids=tuple(replica.store.applied_txids),
+            blocks_applied=self.trackers.throughput.blocks_applied(self.spec.node_id),
+            txns_applied=self.trackers.throughput.txns_applied(self.spec.node_id),
+        )
+
+    # -- client server --------------------------------------------------------
+
+    async def _on_client_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._clients.append(writer)
+        buffer = FrameBuffer(self.codec)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                for message in buffer.feed(data):
+                    if isinstance(message, ClientSubmit):
+                        if isinstance(message.txn, Transaction):
+                            self.replica.submit(message.txn)
+                    elif isinstance(message, StartRun):
+                        self._start_consensus()
+                    elif isinstance(message, CollectRequest):
+                        writer.write(self.codec.encode_frame(self._collect_reply()))
+                        await writer.drain()
+                        self._done.set()
+                        return
+        except (OSError, ConnectionError, CodecError):
+            return
+        finally:
+            if writer in self._clients:
+                self._clients.remove(writer)
+            writer.close()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def run(self) -> None:
+        await self.transport.start()
+        server = await asyncio.start_server(
+            self._on_client_connection, self.spec.host, self.spec.client_port
+        )
+        try:
+            await self._done.wait()
+        finally:
+            self.ctx.cancel_timers()
+            server.close()
+            await server.wait_closed()
+            await self.transport.stop()
+
+
+def run_replica(spec: ReplicaSpec) -> None:
+    """Process target: run one replica until collected (or killed)."""
+    # A dead peer's socket produces per-write "socket.send() raised
+    # exception" warnings until the transport notices; the reconnect
+    # machinery exists precisely to absorb those, so quiet them.
+    logging.getLogger("asyncio").setLevel(logging.ERROR)
+    asyncio.run(ReplicaProcess(spec).run())
+
+
+if __name__ == "__main__":  # pragma: no cover - debugging aid
+    import pickle
+    import sys
+
+    run_replica(pickle.loads(bytes.fromhex(sys.argv[1])))

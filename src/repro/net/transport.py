@@ -1,0 +1,375 @@
+"""Asyncio TCP transport speaking the length-prefixed wire codec.
+
+One :class:`NetTransport` per replica process: it listens on the
+replica's peer port, dials every other replica, and moves encoded
+frames.  Design points, in the order they matter operationally:
+
+* **Per-peer outbound queues** — sends never block the protocol state
+  machine; each peer has a queue drained by its own writer task.
+* **Reconnect with backoff** — replicas start at different instants
+  and may crash mid-run; a writer that cannot connect (or loses its
+  connection) retries with exponential backoff while its queue keeps
+  absorbing messages, so a rebooted peer picks up from the live
+  traffic without any node noticing at the protocol layer.
+* **Injected link latency** — an optional per-link one-way delay,
+  applied as a FIFO pipe (each frame is written no earlier than
+  ``enqueue time + latency``): localhost RTTs are tens of
+  microseconds, far below any interesting Δ geometry, and the
+  injected delay is what lets the sync/geo scenarios of the simulated
+  experiments carry over to real sockets.
+* **Loopback included** — ``broadcast`` delivers to the sender too
+  (a node processes its own votes, exactly as in the simulator), via
+  the event loop with the same injected latency as any other link.
+
+:class:`NetContext` is the duck-typed
+:class:`~repro.sim.runner.NodeContext` the transport hands a node:
+wall-clock ``now`` in protocol Δ units (via ``time_scale`` seconds per
+Δ), asyncio timers, and local metric/trace sinks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import RunMetrics
+from repro.net.codec import WIRE_CODEC, CodecError, FrameBuffer, Hello, WireCodec
+from repro.sim.trace import Trace, TraceKind
+
+_LOG = logging.getLogger(__name__)
+
+#: Reconnect backoff: first retry after INITIAL, doubling to CAP.
+BACKOFF_INITIAL = 0.05
+BACKOFF_CAP = 1.0
+
+#: Outbound frames queued per peer before the oldest are dropped.  A
+#: dead peer must not grow our memory without bound; consensus already
+#: tolerates message loss (that is what view changes are for).
+MAX_OUTBOUND_QUEUE = 65_536
+
+
+class LinkLatency:
+    """Static one-way link delays: a scalar, or per-(src, dst) overrides.
+
+    ``overrides`` maps ``(src, dst)`` pairs to seconds; missing pairs
+    fall back to ``default``.  Symmetric maps list both directions.
+    """
+
+    def __init__(
+        self,
+        default: float = 0.0,
+        overrides: dict[tuple[int, int], float] | None = None,
+    ) -> None:
+        if default < 0:
+            raise ConfigurationError(f"link latency must be >= 0, got {default}")
+        self.default = default
+        self.overrides = dict(overrides or {})
+        for pair, value in self.overrides.items():
+            if value < 0:
+                raise ConfigurationError(f"link latency for {pair} is negative")
+
+    def of(self, src: int, dst: int) -> float:
+        return self.overrides.get((src, dst), self.default)
+
+    def as_pairs(self) -> tuple[tuple[int, int, float], ...]:
+        """Picklable form for crossing the process boundary."""
+        return tuple((s, d, v) for (s, d), v in sorted(self.overrides.items()))
+
+    @classmethod
+    def from_pairs(cls, default: float, pairs: tuple[tuple[int, int, float], ...]) -> "LinkLatency":
+        return cls(default, {(s, d): v for s, d, v in pairs})
+
+
+class _PeerLane:
+    """Outbound state for one peer: queue + reconnecting writer task."""
+
+    __slots__ = ("queue", "task", "dropped")
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue[tuple[float, bytes]] = asyncio.Queue()
+        self.task: asyncio.Task | None = None
+        self.dropped = 0
+
+
+class NetTransport:
+    """Frame mover for one replica: server + per-peer outbound lanes."""
+
+    def __init__(
+        self,
+        node_id: int,
+        listen_host: str,
+        listen_port: int,
+        peers: dict[int, tuple[str, int]],
+        on_message: Callable[[int, object], None],
+        codec: WireCodec = WIRE_CODEC,
+        latency: LinkLatency | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.listen_host = listen_host
+        self.listen_port = listen_port
+        self.peers = dict(peers)
+        self.on_message = on_message
+        self.codec = codec
+        self.latency = latency if latency is not None else LinkLatency()
+        self._lanes: dict[int, _PeerLane] = {}
+        self._server: asyncio.Server | None = None
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_peer_connection, self.listen_host, self.listen_port
+        )
+        for peer_id in self.peers:
+            lane = _PeerLane()
+            lane.task = asyncio.ensure_future(self._writer(peer_id, lane))
+            self._lanes[peer_id] = lane
+
+    async def stop(self) -> None:
+        self._closed = True
+        for lane in self._lanes.values():
+            if lane.task is not None:
+                lane.task.cancel()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- sending --------------------------------------------------------------
+
+    def send(self, dst: int, message: object) -> None:
+        """Queue one message for ``dst`` (or loop it back to ourselves)."""
+        if dst == self.node_id:
+            self._loopback(message)
+            return
+        lane = self._lanes.get(dst)
+        if lane is None:
+            return  # unknown peer: mirrors the simulator's closed world
+        if lane.queue.qsize() >= MAX_OUTBOUND_QUEUE:
+            lane.queue.get_nowait()
+            lane.dropped += 1
+        loop = asyncio.get_event_loop()
+        lane.queue.put_nowait((loop.time(), self.codec.encode_frame(message)))
+
+    def broadcast(self, message: object) -> None:
+        """Send to every peer and to ourselves (loopback semantics)."""
+        frame: bytes | None = None
+        loop = asyncio.get_event_loop()
+        for dst in sorted(self.peers):
+            lane = self._lanes.get(dst)
+            if lane is None:
+                continue
+            if frame is None:
+                frame = self.codec.encode_frame(message)
+            if lane.queue.qsize() >= MAX_OUTBOUND_QUEUE:
+                lane.queue.get_nowait()
+                lane.dropped += 1
+            lane.queue.put_nowait((loop.time(), frame))
+        self._loopback(message)
+
+    def _loopback(self, message: object) -> None:
+        delay = self.latency.of(self.node_id, self.node_id)
+        loop = asyncio.get_event_loop()
+        if delay > 0:
+            loop.call_later(delay, self.on_message, self.node_id, message)
+        else:
+            loop.call_soon(self.on_message, self.node_id, message)
+
+    # -- outbound lanes -------------------------------------------------------
+
+    async def _writer(self, peer_id: int, lane: _PeerLane) -> None:
+        """Drain one peer's queue over a connection that self-heals."""
+        host, port = self.peers[peer_id]
+        latency = self.latency.of(self.node_id, peer_id)
+        hello = self.codec.encode_frame(Hello(self.node_id))
+        backoff = BACKOFF_INITIAL
+        reconnect_delay = 0.0
+        pending: tuple[float, bytes] | None = None
+        while not self._closed:
+            if reconnect_delay > 0:
+                await asyncio.sleep(reconnect_delay)
+                reconnect_delay = 0.0
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, BACKOFF_CAP)
+                continue
+            try:
+                writer.write(hello)
+                await writer.drain()
+                # Only a landed handshake proves the link is real: a
+                # listener that accepts and immediately resets must
+                # keep escalating the backoff, not spin at full speed.
+                backoff = BACKOFF_INITIAL
+                loop = asyncio.get_event_loop()
+                while True:
+                    if pending is None:
+                        pending = await lane.queue.get()
+                    enqueued, frame = pending
+                    if latency > 0:
+                        wait = enqueued + latency - loop.time()
+                        if wait > 0:
+                            await asyncio.sleep(wait)
+                    if writer.is_closing():
+                        break  # peer went away: keep the frame, reconnect
+                    writer.write(frame)
+                    pending = None
+                    if writer.transport.get_write_buffer_size() > 1 << 20:
+                        await writer.drain()
+            except (OSError, ConnectionError):
+                # Connection lost mid-write: the frame in flight is
+                # dropped (consensus tolerates loss); pause one backoff
+                # step, then reconnect and carry on with the queue.
+                pending = None
+                reconnect_delay = backoff
+                backoff = min(backoff * 2, BACKOFF_CAP)
+            finally:
+                writer.close()
+
+    # -- inbound --------------------------------------------------------------
+
+    async def _on_peer_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        buffer = FrameBuffer(self.codec)
+        sender: int | None = None
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                for message in buffer.feed(data):
+                    if sender is None:
+                        if not isinstance(message, Hello):
+                            return  # not a peer speaking our protocol
+                        sender = message.node_id
+                        continue
+                    try:
+                        self.on_message(sender, message)
+                    except Exception:
+                        # A dispatch bug must be loud (the simulator
+                        # fails the whole run here) but one poisoned
+                        # message must not silently drop the rest of
+                        # the decoded batch.
+                        _LOG.exception(
+                            "node %s: dispatch of %s from peer %s failed",
+                            self.node_id,
+                            type(message).__name__,
+                            sender,
+                        )
+        except (OSError, ConnectionError, CodecError):
+            return
+        except asyncio.CancelledError:
+            return  # transport shutdown: a cancelled reader is clean
+        finally:
+            writer.close()
+
+
+class _NetTimerHandle:
+    """Duck-typed EventHandle over an asyncio task."""
+
+    __slots__ = ("_task",)
+
+    def __init__(self, task: asyncio.Task) -> None:
+        self._task = task
+
+    def cancel(self) -> None:
+        self._task.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._task.cancelled()
+
+
+class NetContext:
+    """Duck-typed :class:`~repro.sim.runner.NodeContext` over a transport.
+
+    ``time_scale`` is seconds of wall clock per protocol Δ: timers a
+    node arms in Δ units sleep ``delay * time_scale`` seconds, and
+    ``now`` reports wall time elapsed since :meth:`start_clock` in Δ
+    units, matching the simulated geometry.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        transport: NetTransport,
+        time_scale: float,
+        metrics: RunMetrics | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError(f"time_scale must be positive, got {time_scale}")
+        self.node_id = node_id
+        self.transport = transport
+        self.time_scale = time_scale
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.trace_sink = trace if trace is not None else Trace(enabled=False)
+        self._t0: float | None = None
+        self._timer_tasks: set[asyncio.Task] = set()
+
+    def start_clock(self) -> None:
+        self._t0 = asyncio.get_event_loop().time()
+
+    @property
+    def now(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return (asyncio.get_event_loop().time() - self._t0) / self.time_scale
+
+    # -- node-facing surface --------------------------------------------------
+
+    def send(self, dst: int, message: object) -> None:
+        self.transport.send(dst, message)
+
+    def broadcast(self, message: object) -> None:
+        self.transport.broadcast(message)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> _NetTimerHandle:
+        async def fire() -> None:
+            await asyncio.sleep(delay * self.time_scale)
+            try:
+                callback()
+            except Exception:
+                # The simulator propagates a timer-callback exception
+                # and fails the run with a traceback; over sockets the
+                # least we owe the operator is the same traceback
+                # instead of a silent dead timer.
+                _LOG.exception("node %s: timer callback failed", self.node_id)
+                raise
+
+        task = asyncio.ensure_future(fire())
+        self._timer_tasks.add(task)
+        task.add_done_callback(self._timer_tasks.discard)
+        return _NetTimerHandle(task)
+
+    def cancel_timers(self) -> None:
+        for task in list(self._timer_tasks):
+            task.cancel()
+
+    # -- milestone reporting --------------------------------------------------
+
+    def report_decision(self, value: object) -> None:
+        self.metrics.latency.record_decision(self.node_id, value, self.now)
+        self.trace(TraceKind.DECIDE, value=value)
+
+    def report_view_entry(self, view: int) -> None:
+        self.metrics.latency.record_view_entry(self.node_id, view, self.now)
+        self.trace(TraceKind.VIEW_ENTER, view=view)
+
+    def report_storage(self, size_bytes: int) -> None:
+        self.metrics.storage.record(self.node_id, size_bytes)
+
+    def trace(self, kind: TraceKind, **detail: object) -> None:
+        if self.trace_sink.enabled:
+            self.trace_sink.record(self.now, self.node_id, kind, **detail)

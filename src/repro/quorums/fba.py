@@ -49,12 +49,8 @@ class SliceConfig:
         """
         peer_list = sorted(set(peers) - {node})
         if not 0 < k <= len(peer_list):
-            raise QuorumSystemError(
-                f"threshold k={k} out of range for {len(peer_list)} peers"
-            )
-        slices = frozenset(
-            frozenset(combo) | {node} for combo in combinations(peer_list, k)
-        )
+            raise QuorumSystemError(f"threshold k={k} out of range for {len(peer_list)} peers")
+        slices = frozenset(frozenset(combo) | {node} for combo in combinations(peer_list, k))
         return cls(node=node, slices=slices)
 
     def normalized(self) -> "SliceConfig":
@@ -78,20 +74,14 @@ class FBAQuorumSystem(QuorumSystem):
     """
 
     slice_configs: Mapping[NodeId, SliceConfig]
-    _minimal_quorums: tuple[frozenset[NodeId], ...] = field(
-        default=(), compare=False, repr=False
-    )
+    _minimal_quorums: tuple[frozenset[NodeId], ...] = field(default=(), compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.slice_configs:
             raise QuorumSystemError("FBA system needs at least one slice config")
-        normalized = {
-            node: cfg.normalized() for node, cfg in self.slice_configs.items()
-        }
+        normalized = {node: cfg.normalized() for node, cfg in self.slice_configs.items()}
         object.__setattr__(self, "slice_configs", normalized)
-        object.__setattr__(
-            self, "_minimal_quorums", tuple(self._enumerate_minimal_quorums())
-        )
+        object.__setattr__(self, "_minimal_quorums", tuple(self._enumerate_minimal_quorums()))
         if not self._minimal_quorums:
             raise QuorumSystemError("FBA system admits no quorum at all")
 

@@ -76,14 +76,10 @@ class PriorityLeaderElection:
     def fairness(self, views: int) -> dict[NodeId, float]:
         """Fraction of the first ``views`` views each candidate leads."""
         schedule = self.schedule(views)
-        return {
-            node: schedule.count(node) / views for node in self.candidates
-        }
+        return {node: schedule.count(node) / views for node in self.candidates}
 
 
-def leader_fn_for(
-    candidates: Iterable[NodeId], seed: bytes = b"tetrabft"
-) -> LeaderFn:
+def leader_fn_for(candidates: Iterable[NodeId], seed: bytes = b"tetrabft") -> LeaderFn:
     """A ``ProtocolConfig.leader_fn`` from hash-priority election."""
     election = PriorityLeaderElection(tuple(sorted(set(candidates))), seed=seed)
     return election.leader_of
@@ -109,9 +105,7 @@ class NominationRound:
         """Record ``participant``'s nomination (its top-priority candidate)."""
         if not candidates:
             raise ConfigurationError("cannot nominate from an empty candidate set")
-        choice = max(
-            candidates, key=lambda node: (priority(self.view, node, self.seed), node)
-        )
+        choice = max(candidates, key=lambda node: (priority(self.view, node, self.seed), node))
         self.nominations[participant] = choice
         return choice
 

@@ -80,9 +80,7 @@ class ThresholdQuorumSystem(QuorumSystem):
         if self.f < 0:
             raise ConfigurationError(f"f must be non-negative, got {self.f}")
         if n <= 3 * self.f:
-            raise ConfigurationError(
-                f"threshold quorum system needs n > 3f, got n={n}, f={self.f}"
-            )
+            raise ConfigurationError(f"threshold quorum system needs n > 3f, got n={n}, f={self.f}")
 
     @classmethod
     def for_nodes(cls, n: int, f: int | None = None) -> "ThresholdQuorumSystem":
@@ -137,6 +135,4 @@ def quorums_intersect(system: QuorumSystem, sample_limit: int = 0) -> bool:
     del sample_limit
     if isinstance(system, ThresholdQuorumSystem):
         return system.n > 3 * system.f
-    raise NotImplementedError(
-        "closed-form intersection check only available for threshold systems"
-    )
+    raise NotImplementedError("closed-form intersection check only available for threshold systems")

@@ -187,9 +187,7 @@ class EventScheduler:
         stopped.
         """
         if stop_check_interval < 1:
-            raise SimulationError(
-                f"stop_check_interval must be >= 1, got {stop_check_interval}"
-            )
+            raise SimulationError(f"stop_check_interval must be >= 1, got {stop_check_interval}")
         fired = 0
         heap = self._heap
         while heap:
@@ -211,11 +209,7 @@ class EventScheduler:
                 )
             self.step()
             fired += 1
-            if (
-                stop_when is not None
-                and fired % stop_check_interval == 0
-                and stop_when()
-            ):
+            if stop_when is not None and fired % stop_check_interval == 0 and stop_when():
                 return self._now
         if until is not None and self._now < until:
             self._now = until

@@ -81,9 +81,7 @@ class UniformRandomDelays(DelayPolicy):
 
     def __post_init__(self) -> None:
         if not 0 < self.low <= self.high:
-            raise ConfigurationError(
-                f"need 0 < low <= high, got low={self.low} high={self.high}"
-            )
+            raise ConfigurationError(f"need 0 < low <= high, got low={self.low} high={self.high}")
         self._rng = random.Random(self.seed)
 
     def delay(self, send_time: float, src: int, dst: int, message: object) -> float | None:
@@ -119,9 +117,7 @@ class PartialSynchronyPolicy(DelayPolicy):
         if self.delta_min is None:
             self.delta_min = self.delta
         if self.delta_min <= 0:
-            raise ConfigurationError(
-                f"delta_min must be positive, got {self.delta_min}"
-            )
+            raise ConfigurationError(f"delta_min must be positive, got {self.delta_min}")
         if self.delta_min > self.delta:
             raise ConfigurationError(
                 f"delta_min cannot exceed delta, got {self.delta_min} > {self.delta}"
@@ -254,21 +250,15 @@ class Network:
         if metrics.enabled:
             metrics.record_send(src, message)
         if trace_on:
-            self.trace.record(
-                now, src, TraceKind.SEND, dst=dst, msg=type(message).__name__
-            )
+            self.trace.record(now, src, TraceKind.SEND, dst=dst, msg=type(message).__name__)
         delay = self.policy.delay(now, src, dst, message)
         if delay is None:
             if metrics.enabled:
                 metrics.record_drop(src)
             if trace_on:
-                self.trace.record(
-                    now, src, TraceKind.DROP, dst=dst, msg=type(message).__name__
-                )
+                self.trace.record(now, src, TraceKind.DROP, dst=dst, msg=type(message).__name__)
             return
-        self.scheduler.schedule(
-            delay, self._deliver, args=(src, dst, message)
-        )
+        self.scheduler.schedule(delay, self._deliver, args=(src, dst, message))
 
     def broadcast(self, src: int, message: object) -> None:
         """Send ``message`` to every registered node, including ``src``.

@@ -111,9 +111,7 @@ def multishot_engine(config: MultiShotConfig) -> EngineFactory:
     def build(
         node_id: NodeId, payload_fn: PayloadFn, on_finalize: FinalizeCallback
     ) -> ConsensusEngine:
-        return MultiShotNode(
-            node_id, config, payload_fn=payload_fn, on_finalize=on_finalize
-        )
+        return MultiShotNode(node_id, config, payload_fn=payload_fn, on_finalize=on_finalize)
 
     return build
 

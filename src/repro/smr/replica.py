@@ -77,9 +77,7 @@ class InFlightIndex:
         payload = block.payload
         if not isinstance(payload, tuple):
             return frozenset()
-        return frozenset(
-            txn.txid for txn in payload if isinstance(txn, Transaction)
-        )
+        return frozenset(txn.txid for txn in payload if isinstance(txn, Transaction))
 
     def txids_on(self, parent: Digest) -> set[str]:
         """Union of txids on the unfinalized suffix ending at ``parent``.

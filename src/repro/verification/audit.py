@@ -134,9 +134,7 @@ class SafetyAuditor:
 
     def audit(self, replicas) -> AuditReport:
         """Audit live replicas (honest ones only — the caller filters)."""
-        return self.audit_evidence(
-            [ReplicaEvidence.from_replica(replica) for replica in replicas]
-        )
+        return self.audit_evidence([ReplicaEvidence.from_replica(replica) for replica in replicas])
 
     def audit_evidence(self, evidence: list[ReplicaEvidence]) -> AuditReport:
         checks: dict[str, bool] = {}

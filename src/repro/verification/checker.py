@@ -79,9 +79,7 @@ def explore(
     """
     initial = ModelState.initial(config)
     initial_key = initial.canonical_key(config)
-    parents: dict[tuple, tuple[tuple | None, Action | None]] = {
-        initial_key: (None, None)
-    }
+    parents: dict[tuple, tuple[tuple | None, Action | None]] = {initial_key: (None, None)}
     queue: deque[tuple[ModelState, int]] = deque([(initial, 0)])
     result = CheckResult(states_explored=0, transitions=0, max_depth=0)
 
@@ -110,18 +108,14 @@ def explore(
     return result
 
 
-def check_agreement(
-    config: ModelConfig, max_states: int = 2_000_000
-) -> CheckResult:
+def check_agreement(config: ModelConfig, max_states: int = 2_000_000) -> CheckResult:
     """Exhaustively verify the agreement property within the bounds."""
     from repro.verification.invariants import consistency
 
     return explore(config, {"consistency": consistency}, max_states=max_states)
 
 
-def check_invariants(
-    config: ModelConfig, max_states: int = 2_000_000
-) -> CheckResult:
+def check_invariants(config: ModelConfig, max_states: int = 2_000_000) -> CheckResult:
     """Verify every conjunct of the paper's inductive invariant holds
     on all reachable states (a reachability-level validation of the
     TLA+ ``ConsistencyInvariant``)."""
@@ -151,9 +145,7 @@ def check_liveness(config: ModelConfig, max_states: int = 2_000_000) -> Liveness
     if config.good_round < 0:
         raise VerificationError("liveness checking needs config.good_round >= 0")
     if config.byz_support:
-        raise VerificationError(
-            "liveness checking needs byz_support=False (withholding adversary)"
-        )
+        raise VerificationError("liveness checking needs byz_support=False (withholding adversary)")
     initial = ModelState.initial(config)
     seen: set[tuple] = {initial.canonical_key(config)}
     queue: deque[ModelState] = deque([initial])

@@ -26,11 +26,7 @@ from repro.verification.model import (
 def no_future_vote(state: ModelState, config: ModelConfig) -> bool:
     """No honest process has voted in a round above its current round."""
     del config
-    return all(
-        vt[0] <= state.rounds[p]
-        for p, votes in enumerate(state.votes)
-        for vt in votes
-    )
+    return all(vt[0] <= state.rounds[p] for p, votes in enumerate(state.votes) for vt in votes)
 
 
 def one_value_per_phase_per_round(state: ModelState, config: ModelConfig) -> bool:
@@ -57,19 +53,13 @@ def vote_has_quorum_in_previous_phase(state: ModelState, config: ModelConfig) ->
         for rnd, phase, value in votes:
             if phase == 1:
                 continue
-            honest_backers = sum(
-                1
-                for other in state.votes
-                if (rnd, phase - 1, value) in other
-            )
+            honest_backers = sum(1 for other in state.votes if (rnd, phase - 1, value) in other)
             if honest_backers + config.f < config.quorum_size:
                 return False
     return True
 
 
-def _none_other_choosable_at(
-    state: ModelState, config: ModelConfig, rnd: int, value: int
-) -> bool:
+def _none_other_choosable_at(state: ModelState, config: ModelConfig, rnd: int, value: int) -> bool:
     """TLA+ ``NoneOtherChoosableAt``: some quorum's members either voted
     (phase 4) for ``value`` at ``rnd`` or can no longer vote there."""
     supporters = 0
@@ -85,18 +75,12 @@ def _none_other_choosable_at(
 
 def safe_at(state: ModelState, config: ModelConfig, rnd: int, value: int) -> bool:
     """TLA+ ``SafeAt``: no other value can be chosen below ``rnd``."""
-    return all(
-        _none_other_choosable_at(state, config, c, value) for c in range(rnd)
-    )
+    return all(_none_other_choosable_at(state, config, c, value) for c in range(rnd))
 
 
 def votes_safe(state: ModelState, config: ModelConfig) -> bool:
     """Every honest vote is for a value safe at its round."""
-    return all(
-        safe_at(state, config, vt[0], vt[2])
-        for votes in state.votes
-        for vt in votes
-    )
+    return all(safe_at(state, config, vt[0], vt[2]) for votes in state.votes for vt in votes)
 
 
 def consistency(state: ModelState, config: ModelConfig) -> bool:

@@ -131,15 +131,11 @@ class ModelState:
 
 def accepted(state: ModelState, config: ModelConfig, value: int, rnd: int, phase: int) -> bool:
     """TLA+ ``Accepted``: a quorum voted (rnd, phase, value)."""
-    honest_votes = sum(
-        1 for vs in state.votes if (rnd, phase, value) in vs
-    )
+    honest_votes = sum(1 for vs in state.votes if (rnd, phase, value) in vs)
     return honest_votes + config.byz_credit() >= config.quorum_size
 
 
-def claims_safe_at(
-    votes: frozenset[ModelVote], value: int, rnd: int, r2: int, phase: int
-) -> bool:
+def claims_safe_at(votes: frozenset[ModelVote], value: int, rnd: int, r2: int, phase: int) -> bool:
     """TLA+ ``ClaimsSafeAt`` for one honest process's vote set."""
     if r2 == 0:
         return True
@@ -149,11 +145,7 @@ def claims_safe_at(
         if vt1[2] == value:
             return True
         for vt2 in votes:
-            if (
-                r2 <= vt2[0] < vt1[0]
-                and vt2[1] == phase
-                and vt2[2] != vt1[2]
-            ):
+            if r2 <= vt2[0] < vt1[0] and vt2[1] == phase and vt2[2] != vt1[2]:
                 return True
     return False
 
@@ -177,9 +169,7 @@ def shows_safe_at(
     if rnd == 0:
         return True
     credit = config.byz_credit()
-    eligible = [
-        p for p in range(config.honest) if state.rounds[p] >= rnd
-    ]
+    eligible = [p for p in range(config.honest) if state.rounds[p] >= rnd]
     need = config.quorum_size - credit
     if len(eligible) < need:
         return False
@@ -260,9 +250,7 @@ def _do_vote(state: ModelState, p: int, value: int, rnd: int, phase: int) -> Mod
     return replace(state, votes=tuple(new_votes))
 
 
-def successors(
-    state: ModelState, config: ModelConfig
-) -> list[tuple[Action, ModelState]]:
+def successors(state: ModelState, config: ModelConfig) -> list[tuple[Action, ModelState]]:
     """All enabled (action, next-state) pairs — the TLA+ ``Next`` relation."""
     result: list[tuple[Action, ModelState]] = []
     good = config.good_round

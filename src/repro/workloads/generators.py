@@ -83,9 +83,7 @@ class Workload(ABC):
 class UniformWorkload(Workload):
     """``rate`` transactions per delay unit, independent keys."""
 
-    def __init__(
-        self, count: int, rate: float = 10.0, key_space: int = 64, seed: int = 0
-    ) -> None:
+    def __init__(self, count: int, rate: float = 10.0, key_space: int = 64, seed: int = 0) -> None:
         self.count = count
         self.rate = rate
         self.key_space = key_space

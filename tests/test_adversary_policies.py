@@ -38,17 +38,13 @@ class TestTargetedDrop:
 
 class TestPartition:
     def test_cross_partition_dropped_until_heal(self):
-        policy = PartitionPolicy(
-            BASE, groups=[frozenset({0, 1})], heal_time=10.0
-        )
+        policy = PartitionPolicy(BASE, groups=[frozenset({0, 1})], heal_time=10.0)
         assert policy.delay(0.0, 0, 2, "x") is None   # cross groups
         assert policy.delay(0.0, 0, 1, "x") == 1.0    # same group
         assert policy.delay(10.0, 0, 2, "x") == 1.0   # healed
 
     def test_nodes_outside_all_groups_form_implicit_group(self):
-        policy = PartitionPolicy(
-            BASE, groups=[frozenset({0})], heal_time=100.0
-        )
+        policy = PartitionPolicy(BASE, groups=[frozenset({0})], heal_time=100.0)
         assert policy.delay(0.0, 1, 2, "x") == 1.0  # both implicit
         assert policy.delay(0.0, 0, 1, "x") is None
 

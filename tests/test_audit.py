@@ -92,9 +92,7 @@ def test_auditor_detects_forked_chain():
     shared = _chain(_txn_payload("a"))
     left = shared + (Block.create(2, shared[-1].digest, _txn_payload("b")),)
     right = shared + (Block.create(2, shared[-1].digest, _txn_payload("c")),)
-    report = SafetyAuditor().audit_evidence(
-        [_evidence(0, left), _evidence(1, right)]
-    )
+    report = SafetyAuditor().audit_evidence([_evidence(0, left), _evidence(1, right)])
     assert not report.checks["chains_agree"]
     assert not report.checks["chains_no_fork"]
     assert not report.safe and not report.ok

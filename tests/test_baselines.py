@@ -84,9 +84,7 @@ class TestGoodCase:
 @pytest.mark.parametrize("node_cls,spec", ALL_NODES)
 class TestViewChange:
     def test_crashed_leader_recovery_latency(self, node_cls, spec):
-        sim = Simulation(
-            TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([0]))
-        )
+        sim = Simulation(TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([0])))
         for i in range(4):
             sim.add_node(node_cls(i, CFG4, f"val-{i}"))
         sim.run_until_all_decided(node_ids=[1, 2, 3], until=200)
@@ -113,9 +111,7 @@ class TestLockSafety:
         for i in range(4):
             sim.add_node(ITHotStuffNode(i, CFG4, f"val-{i}"))
         sim.run_until_all_decided(node_ids=[1, 2, 3], until=200)
-        assert set(
-            sim.metrics.latency.decision_values[i] for i in (1, 2, 3)
-        ) == {"val-0"}
+        assert set(sim.metrics.latency.decision_values[i] for i in (1, 2, 3)) == {"val-0"}
 
 
 class TestUnboundedLogGrowth:
@@ -123,9 +119,7 @@ class TestUnboundedLogGrowth:
         def max_storage(duration: float) -> int:
             from repro.sim import censor_types
 
-            sim = Simulation(
-                TargetedDropPolicy(SynchronousDelays(1.0), censor_types("BProposal"))
-            )
+            sim = Simulation(TargetedDropPolicy(SynchronousDelays(1.0), censor_types("BProposal")))
             for i in range(4):
                 sim.add_node(PBFTUnboundedNode(i, CFG4, f"val-{i}"))
             sim.run(until=duration)
@@ -137,9 +131,7 @@ class TestUnboundedLogGrowth:
         def max_storage(duration: float) -> int:
             from repro.sim import censor_types
 
-            sim = Simulation(
-                TargetedDropPolicy(SynchronousDelays(1.0), censor_types("BProposal"))
-            )
+            sim = Simulation(TargetedDropPolicy(SynchronousDelays(1.0), censor_types("BProposal")))
             for i in range(4):
                 sim.add_node(PBFTNode(i, CFG4, f"val-{i}"))
             sim.run(until=duration)

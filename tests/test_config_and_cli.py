@@ -82,6 +82,10 @@ class TestCLI:
         assert "attacks" in EXPERIMENTS
         assert "attacks" in usage()
 
+    def test_net_experiment_registered(self):
+        assert "net" in EXPERIMENTS
+        assert "net" in usage()
+
     def test_no_args_is_bad_usage(self, capsys):
         assert main([]) == 1
         captured = capsys.readouterr()

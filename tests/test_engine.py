@@ -209,17 +209,13 @@ class TestEngineSwapDeterminism:
             ),
             _SCENARIOS["sync"],
         )
-        assert [r.state_digest() for r in direct] == [
-            r.state_digest() for r in explicit
-        ]
+        assert [r.state_digest() for r in direct] == [r.state_digest() for r in explicit]
 
 
 def _run_engine_cluster(name, policy, txns=24, batch=4, horizon=300.0, n=4):
     factory = engine_factory(name, ProtocolConfig.create(n))
     sim = Simulation(policy)
-    replicas = [
-        Replica(i, max_batch=batch, engine_factory=factory) for i in range(n)
-    ]
+    replicas = [Replica(i, max_batch=batch, engine_factory=factory) for i in range(n)]
     sim.add_nodes(list(replicas))
     for k in range(txns):
         for replica in replicas:
@@ -255,9 +251,7 @@ class TestChainedEngineClientPath:
         replica = Replica(0, max_batch=5, engine_factory=factory)
         shared = Transaction("dup", ("incr", "x", 1))
         b1 = Block.create(1, GENESIS_DIGEST, (shared,))
-        b2 = Block.create(
-            2, b1.digest, (shared, Transaction("t2", ("incr", "x", 1)))
-        )
+        b2 = Block.create(2, b1.digest, (shared, Transaction("t2", ("incr", "x", 1))))
         replica._execute_block(b1)
         replica._execute_block(b2)
         assert replica.store.get("x") == 2
@@ -274,9 +268,7 @@ class TestChainedEngineClientPath:
     def test_liveness_through_silenced_node(self, name):
         """A silenced node forces per-slot view changes; the batch is
         re-proposed by the rotated leader and still commits."""
-        policy = TargetedDropPolicy(
-            SynchronousDelays(1.0), silence_nodes([3]), end=25.0
-        )
+        policy = TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([3]), end=25.0)
         replicas = _run_engine_cluster(name, policy, horizon=400.0)
         assert all(r.store.applied_count == 24 for r in replicas), name
         assert len({r.state_digest() for r in replicas}) == 1, name
@@ -312,8 +304,6 @@ class TestChainedEngineClientPath:
             outage=10.0,
             horizon=400.0,
         )
-        replicas = _run_engine_cluster(
-            name, policy, txns=60, batch=5, horizon=400.0
-        )
+        replicas = _run_engine_cluster(name, policy, txns=60, batch=5, horizon=400.0)
         assert all(r.store.applied_count == 60 for r in replicas), name
         assert len({r.state_digest() for r in replicas}) == 1, name

@@ -8,6 +8,9 @@ the unit suite rather than late in a long bench.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.eval import (
@@ -21,7 +24,7 @@ from repro.eval import (
     run_verification,
     run_viewchange,
 )
-from repro.eval.report import format_series, format_table
+from repro.eval.report import format_series, format_table, merge_record
 from repro.eval.smr_bench import build_workload, format_smr_report, run_smr_bench
 from repro.eval.table1 import fit_growth_exponent
 from repro.verification import ModelConfig
@@ -44,6 +47,47 @@ class TestReportFormatting:
         ns = [4, 8, 16, 32]
         assert fit_growth_exponent(ns, [n**2 for n in ns]) == pytest.approx(2.0)
         assert fit_growth_exponent(ns, [n**3 for n in ns]) == pytest.approx(3.0)
+
+
+class TestMergeRecord:
+    def test_merges_under_key_preserving_others(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        merge_record(path, "a", [1, 2])
+        merge_record(path, "b", {"k": 3})
+        data = json.loads(path.read_text())
+        assert data == {"a": [1, 2], "b": {"k": 3}}
+
+    def test_replaces_malformed_files_wholesale(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{truncated")
+        merge_record(path, "a", 1)
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_write_is_atomic_no_temp_residue(self, tmp_path):
+        """The merge goes through a same-directory temp + os.replace:
+        after any completed call only the target file exists, so an
+        interrupted run can leave a stale record but never a truncated
+        one."""
+        path = tmp_path / "BENCH_x.json"
+        merge_record(path, "a", list(range(100)))
+        merge_record(path, "a", list(range(50)))
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_x.json"]
+        assert json.loads(path.read_text())["a"] == list(range(50))
+
+    def test_interrupted_write_leaves_old_record_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_x.json"
+        merge_record(path, "a", "old")
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            merge_record(path, "a", "new")
+        monkeypatch.undo()
+        # The old record survives byte-for-byte and no temp file leaks.
+        assert json.loads(path.read_text()) == {"a": "old"}
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_x.json"]
 
 
 class TestTable1Small:

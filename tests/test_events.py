@@ -225,9 +225,7 @@ def test_stop_condition_met_inside_unpolled_window_beats_budget_error():
     fired = []
     for k in range(10):
         sched.schedule(float(k + 1), lambda k=k: fired.append(k))
-    end = sched.run(
-        max_events=5, stop_when=lambda: len(fired) >= 3, stop_check_interval=64
-    )
+    end = sched.run(max_events=5, stop_when=lambda: len(fired) >= 3, stop_check_interval=64)
     assert len(fired) == 5
     assert end == 5.0
 

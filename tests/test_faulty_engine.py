@@ -53,9 +53,7 @@ def run_attacked_cluster(
         [faulty_id],
     )
     sim = Simulation(SynchronousDelays(1.0), trace_enabled=trace)
-    replicas = [
-        Replica(i, max_batch=batch, engine_factory=factory) for i in range(n)
-    ]
+    replicas = [Replica(i, max_batch=batch, engine_factory=factory) for i in range(n)]
     sim.add_nodes(list(replicas))
     for k in range(txns):
         for replica in replicas:
@@ -63,9 +61,7 @@ def run_attacked_cluster(
     honest = [i for i in range(n) if i != faulty_id]
 
     def all_done() -> bool:
-        return all(
-            replicas[i].store.applied_count >= txns for i in honest
-        )
+        return all(replicas[i].store.applied_count >= txns for i in honest)
 
     sim.run(until=150.0, stop_when=all_done, stop_check_interval=16)
     return replicas, sim, honest
@@ -120,9 +116,7 @@ def test_scheduled_crash_is_dark_exactly_inside_its_window():
 
 def test_faulty_factory_wraps_only_the_faulty_set():
     base = ProtocolConfig.create(4)
-    factory = faulty_factory(
-        engine_factory("tetrabft", base), lambda node_id: Silence(), [0, 3]
-    )
+    factory = faulty_factory(engine_factory("tetrabft", base), lambda node_id: Silence(), [0, 3])
     engines = [factory(i, lambda s, p: None, lambda b: None) for i in range(4)]
     assert isinstance(engines[0], FaultyEngine)
     assert isinstance(engines[3], FaultyEngine)
@@ -200,16 +194,10 @@ def test_same_seed_gives_byte_identical_traces(attack):
     """The property the campaign's reproducibility rests on: a fixed
     (attack, seed) pair replays the exact same run — every send, drop,
     timer and finalization — and lands in the same state."""
-    first_replicas, first_sim, honest = run_attacked_cluster(
-        attack, seed=3, trace=True
-    )
-    second_replicas, second_sim, _ = run_attacked_cluster(
-        attack, seed=3, trace=True
-    )
+    first_replicas, first_sim, honest = run_attacked_cluster(attack, seed=3, trace=True)
+    second_replicas, second_sim, _ = run_attacked_cluster(attack, seed=3, trace=True)
     assert list(first_sim.trace) == list(second_sim.trace)
-    assert [r.state_digest() for r in first_replicas] == [
-        r.state_digest() for r in second_replicas
-    ]
+    assert [r.state_digest() for r in first_replicas] == [r.state_digest() for r in second_replicas]
 
 
 def test_different_chaos_seeds_diverge():

@@ -25,9 +25,7 @@ from tests.conftest import assert_agreement
 
 
 def symmetric_fba(n: int = 4, k: int = 2) -> FBAQuorumSystem:
-    return FBAQuorumSystem.from_slices(
-        [SliceConfig.threshold(i, range(n), k=k) for i in range(n)]
-    )
+    return FBAQuorumSystem.from_slices([SliceConfig.threshold(i, range(n), k=k) for i in range(n)])
 
 
 def tiered_fba() -> FBAQuorumSystem:
@@ -63,9 +61,7 @@ class TestSymmetricFBA:
 
     def test_crashed_leader_view_change(self):
         qs = symmetric_fba()
-        sim = build_fba_sim(
-            qs, TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([0]))
-        )
+        sim = build_fba_sim(qs, TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([0])))
         sim.run_until_all_decided(node_ids=[1, 2, 3], until=300)
         assert_agreement(sim, [1, 2, 3])
 

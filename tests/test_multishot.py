@@ -292,9 +292,7 @@ class TestMultiShotGoodCase:
 class TestMultiShotViewChange:
     def test_crashed_slot_leader_recovery(self):
         config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=12)
-        policy = TargetedDropPolicy(
-            SynchronousDelays(1.0), silence_nodes([3]), end=25.0
-        )
+        policy = TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([3]), end=25.0)
         sim = Simulation(policy)
         for i in range(4):
             sim.add_node(MultiShotNode(i, config))
@@ -317,9 +315,7 @@ class TestMultiShotViewChange:
     def test_asynchrony_then_multishot_consistency(self):
         config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=10)
         for seed in range(6):
-            policy = PartialSynchronyPolicy(
-                gst=20.0, delta=1.0, loss_before_gst=0.6, seed=seed
-            )
+            policy = PartialSynchronyPolicy(gst=20.0, delta=1.0, loss_before_gst=0.6, seed=seed)
             sim = Simulation(policy)
             for i in range(4):
                 sim.add_node(MultiShotNode(i, config))
@@ -332,9 +328,7 @@ class TestMultiShotViewChange:
         """Figure 3's slot-4 behaviour: slots first started after a view
         change still begin at view 0."""
         config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=12)
-        policy = TargetedDropPolicy(
-            SynchronousDelays(1.0), silence_nodes([3]), end=25.0
-        )
+        policy = TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([3]), end=25.0)
         sim = Simulation(policy, trace_enabled=True)
         for i in range(4):
             sim.add_node(MultiShotNode(i, config))
@@ -351,9 +345,7 @@ class TestMultiShotViewChange:
         received: list[int] = []
         config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=8)
         sim = Simulation(SynchronousDelays(1.0))
-        sim.add_node(
-            MultiShotNode(0, config, on_finalize=lambda b: received.append(b.slot))
-        )
+        sim.add_node(MultiShotNode(0, config, on_finalize=lambda b: received.append(b.slot)))
         for i in range(1, 4):
             sim.add_node(MultiShotNode(i, config))
         sim.run(until=30)

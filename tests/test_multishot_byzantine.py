@@ -79,9 +79,7 @@ class EquivocatingBlockProposer(SimNode):
         if isinstance(message, MSProposal):
             # Track lineage so later equivocations extend something real.
             self._parents[message.slot] = message.block.digest
-            self._maybe_equivocate(
-                message.slot + 1, message.view, message.block.digest
-            )
+            self._maybe_equivocate(message.slot + 1, message.view, message.block.digest)
         elif isinstance(message, MSVote):
             # Double-vote: echo the vote back to everyone (it is for
             # whichever fork the sender saw; we endorse both).

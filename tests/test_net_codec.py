@@ -1,0 +1,348 @@
+"""Wire-codec contract tests: round trips, byte stability, hard errors.
+
+The codec is the deployment subsystem's trust boundary, so the suite
+is exhaustive by construction: a seeded fuzz generator exists for
+*every* registered message type (the coverage assertion fails the
+moment someone registers a new type without adding a generator), and
+each generated instance must round-trip to an identical object AND
+re-encode to identical bytes — byte stability is what makes frames
+hashable for trace comparison.
+
+The error surface is tested as a contract too: unregistered types,
+truncated frames at every prefix length, magic/version mismatches,
+unknown type ids, trailing bytes, undecodable value tags and
+non-deterministic values (sets, dicts) are all hard
+:class:`~repro.net.codec.CodecError`\\ s, never silent misdecodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.baselines.base import BPhaseVote, BProposal, BRound, BViewChange
+from repro.baselines.chained import CatchUp, SlotMessage
+from repro.core.messages import (
+    EMPTY_VOTE,
+    Proof,
+    Proposal,
+    Suggest,
+    ViewChange,
+    Vote,
+    VoteRecord,
+)
+from repro.core.values import Phase
+from repro.multishot.block import Block
+from repro.multishot.messages import (
+    MSProof,
+    MSProposal,
+    MSSuggest,
+    MSViewChange,
+    MSVote,
+)
+from repro.net.codec import (
+    MAGIC,
+    MAX_FRAME,
+    WIRE_CODEC,
+    ClientSubmit,
+    CodecError,
+    CollectReply,
+    CollectRequest,
+    CommitAck,
+    FrameBuffer,
+    Hello,
+    StartRun,
+    WireCodec,
+    wire_codec,
+)
+from repro.smr.mempool import Transaction
+
+# -- seeded instance generators, one per registered type ----------------------
+
+
+def _value(rng: random.Random) -> object:
+    """A random consensus value: digest-like strings dominate."""
+    return rng.choice([None, "", f"digest-{rng.randrange(1 << 30):x}", rng.randrange(-5, 99), True])
+
+
+def _vote_record(rng: random.Random) -> VoteRecord:
+    if rng.random() < 0.25:
+        return EMPTY_VOTE
+    return VoteRecord(view=rng.randrange(0, 50), value=_value(rng))
+
+
+def _txn(rng: random.Random) -> Transaction:
+    op = rng.choice(
+        [
+            ("set", f"key-{rng.randrange(64)}", rng.randrange(1 << 40)),
+            ("incr", f"c-{rng.randrange(8)}", rng.randrange(1, 9)),
+            ("del", f"key-{rng.randrange(64)}"),
+            ("noop",),
+        ]
+    )
+    return Transaction(txid=f"tx-{rng.randrange(1 << 30):x}", op=op)
+
+
+def _block(rng: random.Random) -> Block:
+    payload = tuple(_txn(rng) for _ in range(rng.randrange(0, 4)))
+    return Block.create(
+        slot=rng.randrange(1, 200), parent=f"{rng.randrange(1 << 60):016x}", payload=payload
+    )
+
+
+GENERATORS = {
+    Hello: lambda rng: Hello(rng.randrange(0, 128)),
+    ClientSubmit: lambda rng: ClientSubmit(_txn(rng)),
+    StartRun: lambda rng: StartRun(),
+    CommitAck: lambda rng: CommitAck(
+        rng.randrange(0, 16), f"tx-{rng.randrange(1 << 20)}", rng.randrange(0, 500)
+    ),
+    CollectRequest: lambda rng: CollectRequest(),
+    CollectReply: lambda rng: CollectReply(
+        node_id=rng.randrange(0, 16),
+        chain=tuple(_block(rng) for _ in range(rng.randrange(0, 5))),
+        state_digest=f"{rng.randrange(1 << 60):016x}",
+        applied_txids=tuple(f"tx-{k}" for k in range(rng.randrange(0, 6))),
+        blocks_applied=rng.randrange(0, 100),
+        txns_applied=rng.randrange(0, 1000),
+    ),
+    VoteRecord: _vote_record,
+    Block: _block,
+    Transaction: _txn,
+    Proposal: lambda rng: Proposal(view=rng.randrange(0, 99), value=_value(rng)),
+    Vote: lambda rng: Vote(
+        phase=rng.choice(list(Phase)), view=rng.randrange(0, 99), value=_value(rng)
+    ),
+    Suggest: lambda rng: Suggest(
+        view=rng.randrange(0, 99),
+        vote2=_vote_record(rng),
+        prev_vote2=_vote_record(rng),
+        vote3=_vote_record(rng),
+    ),
+    Proof: lambda rng: Proof(
+        view=rng.randrange(0, 99),
+        vote1=_vote_record(rng),
+        prev_vote1=_vote_record(rng),
+        vote4=_vote_record(rng),
+    ),
+    ViewChange: lambda rng: ViewChange(view=rng.randrange(0, 99)),
+    MSProposal: lambda rng: MSProposal(
+        slot=rng.randrange(1, 200), view=rng.randrange(0, 20), block=_block(rng)
+    ),
+    MSVote: lambda rng: MSVote(
+        slot=rng.randrange(1, 200),
+        view=rng.randrange(0, 20),
+        digest=f"{rng.randrange(1 << 60):016x}",
+    ),
+    MSViewChange: lambda rng: MSViewChange(
+        slot=rng.randrange(1, 200), view=rng.randrange(0, 20)
+    ),
+    MSSuggest: lambda rng: MSSuggest(
+        slot=rng.randrange(1, 200),
+        view=rng.randrange(0, 20),
+        vote2=_vote_record(rng),
+        prev_vote2=_vote_record(rng),
+        vote3=_vote_record(rng),
+    ),
+    MSProof: lambda rng: MSProof(
+        slot=rng.randrange(1, 200),
+        view=rng.randrange(0, 20),
+        vote1=_vote_record(rng),
+        prev_vote1=_vote_record(rng),
+        vote4=_vote_record(rng),
+    ),
+    BProposal: lambda rng: BProposal(
+        protocol=rng.choice(["pbft", "it-hs", "li"]),
+        view=rng.randrange(0, 20),
+        value=_value(rng),
+    ),
+    BPhaseVote: lambda rng: BPhaseVote(
+        protocol=rng.choice(["pbft", "it-hs", "li"]),
+        view=rng.randrange(0, 20),
+        phase=rng.randrange(0, 3),
+        value=_value(rng),
+    ),
+    BViewChange: lambda rng: BViewChange(
+        protocol="pbft",
+        view=rng.randrange(0, 20),
+        lock_view=rng.randrange(-1, 20),
+        lock_value=_value(rng),
+        entries=rng.randrange(2, 40),
+    ),
+    BRound: lambda rng: BRound(
+        protocol="it-hs",
+        view=rng.randrange(0, 20),
+        round_index=rng.randrange(0, 3),
+        lock_view=rng.randrange(-1, 20),
+        lock_value=_value(rng),
+        entries=rng.randrange(2, 40),
+    ),
+    SlotMessage: lambda rng: SlotMessage(
+        slot=rng.randrange(1, 200),
+        inner=rng.choice(
+            [
+                BProposal("pbft", rng.randrange(0, 9), _value(rng)),
+                BPhaseVote("li", rng.randrange(0, 9), 1, _value(rng)),
+            ]
+        ),
+    ),
+    CatchUp: lambda rng: CatchUp(
+        slot=rng.randrange(1, 50),
+        blocks=tuple(_block(rng) for _ in range(rng.randrange(0, 4))),
+    ),
+}
+
+
+def test_every_registered_type_has_a_generator():
+    """Registering a wire type without fuzz coverage fails loudly."""
+    assert set(WIRE_CODEC.registered_types) == set(GENERATORS)
+
+
+@pytest.mark.parametrize("cls", sorted(GENERATORS, key=lambda c: c.__name__))
+def test_fuzz_round_trip_and_byte_stability(cls):
+    """encode→decode is the identity; decode→encode is byte-stable."""
+    rng = random.Random(f"codec-{cls.__name__}")
+    for _ in range(25):
+        message = GENERATORS[cls](rng)
+        body = WIRE_CODEC.encode(message)
+        decoded = WIRE_CODEC.decode(body)
+        assert decoded == message
+        assert type(decoded) is cls
+        assert WIRE_CODEC.encode(decoded) == body
+
+
+def test_encoding_is_deterministic_across_codec_instances():
+    """Two independently built registries produce identical bytes."""
+    fresh = wire_codec()
+    rng = random.Random(1234)
+    for cls, generate in sorted(GENERATORS.items(), key=lambda kv: kv[0].__name__):
+        message = generate(rng)
+        assert fresh.encode(message) == WIRE_CODEC.encode(message), cls
+
+
+def test_golden_frame_pins_the_wire_format():
+    """v1 bytes are a contract: changing them must bump WIRE_VERSION."""
+    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7010024490000000000000007"
+    assert (
+        WIRE_CODEC.encode_frame(MSVote(3, 1, "abcd")).hex()
+        == "0000001fb7010031490000000000000003490000000000000001530000000461626364"
+    )
+
+
+# -- hard errors --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Rogue:
+    """A dataclass nobody registered."""
+
+    x: int
+
+
+def test_unregistered_type_is_a_hard_error():
+    with pytest.raises(CodecError, match="not registered"):
+        WIRE_CODEC.encode(_Rogue(1))
+
+
+def test_unregistered_nested_value_is_a_hard_error():
+    # Registered envelope, unregistered payload object.
+    with pytest.raises(CodecError, match="no\\s+deterministic wire encoding"):
+        WIRE_CODEC.encode(ClientSubmit(_Rogue(2)))
+
+
+def test_non_deterministic_values_are_rejected():
+    for value in ({1, 2}, {"a": 1}, [1, 2], 3.5j):
+        with pytest.raises(CodecError):
+            WIRE_CODEC.encode(Proposal(view=1, value=value))
+
+
+def test_truncated_frames_fail_at_every_prefix():
+    body = WIRE_CODEC.encode(MSProposal(slot=3, view=1, block=_block(random.Random(7))))
+    for cut in range(len(body)):
+        with pytest.raises(CodecError):
+            WIRE_CODEC.decode(body[:cut])
+
+
+def test_version_mismatch_is_a_hard_error():
+    body = bytearray(WIRE_CODEC.encode(ViewChange(1)))
+    body[1] = 99
+    with pytest.raises(CodecError, match="version mismatch"):
+        WIRE_CODEC.decode(bytes(body))
+
+
+def test_bad_magic_is_a_hard_error():
+    body = bytearray(WIRE_CODEC.encode(ViewChange(1)))
+    body[0] = (MAGIC + 1) & 0xFF
+    with pytest.raises(CodecError, match="magic"):
+        WIRE_CODEC.decode(bytes(body))
+
+
+def test_unknown_type_id_is_a_hard_error():
+    body = bytearray(WIRE_CODEC.encode(ViewChange(1)))
+    body[2:4] = (0xFEED).to_bytes(2, "big")
+    with pytest.raises(CodecError, match="unknown wire type id"):
+        WIRE_CODEC.decode(bytes(body))
+
+
+def test_invalid_utf8_string_payload_is_a_hard_error():
+    body = bytearray(WIRE_CODEC.encode(MSVote(1, 0, "abcd")))
+    assert body[-5:-4] == b"S" or b"abcd" in body  # locate the string tail
+    body[-4:] = b"\xff\xfe\xfd\xfc"  # same length, invalid UTF-8
+    with pytest.raises(CodecError, match="garbled"):
+        WIRE_CODEC.decode(bytes(body))
+
+
+def test_out_of_range_phase_byte_is_a_hard_error():
+    body = bytearray(WIRE_CODEC.encode(Vote(Phase.VOTE1, 1, "x")))
+    index = body.index(b"P") + 1
+    body[index] = 99  # no such Phase
+    with pytest.raises(CodecError, match="garbled"):
+        WIRE_CODEC.decode(bytes(body))
+
+
+def test_trailing_bytes_are_a_hard_error():
+    body = WIRE_CODEC.encode(ViewChange(1)) + b"\x00"
+    with pytest.raises(CodecError, match="trailing"):
+        WIRE_CODEC.decode(body)
+
+
+def test_registry_rejects_collisions_and_non_dataclasses():
+    codec = WireCodec()
+    codec.register(1, Hello)
+    with pytest.raises(CodecError, match="already registered"):
+        codec.register(1, StartRun)
+    with pytest.raises(CodecError, match="already registered"):
+        codec.register(2, Hello)
+    with pytest.raises(CodecError, match="dataclasses"):
+        codec.register(3, int)
+
+
+def test_big_integers_round_trip():
+    huge = 1 << 200
+    message = Proposal(view=1, value=huge)
+    assert WIRE_CODEC.decode(WIRE_CODEC.encode(message)) == message
+    negative = Proposal(view=1, value=-huge)
+    assert WIRE_CODEC.decode(WIRE_CODEC.encode(negative)) == negative
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def test_frame_buffer_reassembles_arbitrary_chunking():
+    rng = random.Random(99)
+    messages = [GENERATORS[cls](rng) for cls in GENERATORS]
+    stream = b"".join(WIRE_CODEC.encode_frame(m) for m in messages)
+    for chunk_size in (1, 3, 7, 64, len(stream)):
+        buffer = FrameBuffer(WIRE_CODEC)
+        received: list[object] = []
+        for start in range(0, len(stream), chunk_size):
+            received.extend(buffer.feed(stream[start : start + chunk_size]))
+        assert received == messages, chunk_size
+
+
+def test_frame_buffer_rejects_oversized_length_words():
+    buffer = FrameBuffer(WIRE_CODEC)
+    with pytest.raises(CodecError, match="MAX_FRAME"):
+        buffer.feed((MAX_FRAME + 1).to_bytes(4, "big"))

@@ -1,0 +1,175 @@
+"""TCP transport behaviour: delivery, loopback, reconnect, latency.
+
+In-process tests (real sockets on localhost, no subprocesses): each
+test builds a couple of :class:`~repro.net.transport.NetTransport`
+instances inside one event loop and checks the properties the
+deployed cluster leans on — ordered peer delivery, loopback broadcast
+semantics, queue-and-reconnect when a peer is late or restarts, and
+FIFO-pipe latency injection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.messages import Proposal, ViewChange
+from repro.errors import ConfigurationError
+from repro.net.cluster import allocate_ports
+from repro.net.transport import LinkLatency, NetContext, NetTransport
+
+HOST = "127.0.0.1"
+
+
+async def _wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError("condition not reached within timeout")
+
+
+def _pair(ports, inboxes, latency=None):
+    """Two wired transports whose messages land in per-node inboxes."""
+    transports = []
+    for node_id in (0, 1):
+        peer = 1 - node_id
+        transports.append(
+            NetTransport(
+                node_id,
+                HOST,
+                ports[node_id],
+                {peer: (HOST, ports[peer])},
+                lambda sender, msg, nid=node_id: inboxes[nid].append((sender, msg)),
+                latency=latency,
+            )
+        )
+    return transports
+
+
+def test_send_and_broadcast_deliver_in_order():
+    inboxes = {0: [], 1: []}
+    ports = allocate_ports(2)
+
+    async def scenario():
+        a, b = _pair(ports, inboxes)
+        await a.start()
+        await b.start()
+        try:
+            for view in range(20):
+                a.send(1, ViewChange(view))
+            b.broadcast(Proposal(1, "x"))
+            # Node 1 expects the 20 sends plus its own loopback copy.
+            await _wait_for(lambda: len(inboxes[1]) == 21 and len(inboxes[0]) >= 1)
+        finally:
+            await a.stop()
+            await b.stop()
+
+    asyncio.run(scenario())
+    # Peer delivery preserves per-link FIFO order.
+    from_a = [entry for entry in inboxes[1] if entry[0] == 0]
+    assert from_a == [(0, ViewChange(view)) for view in range(20)]
+    # Broadcast includes the sender (loopback) and reaches the peer.
+    assert (1, Proposal(1, "x")) in inboxes[0]
+    assert (1, Proposal(1, "x")) in inboxes[1]
+
+
+def test_messages_queue_until_a_late_peer_arrives():
+    """Reconnect-with-backoff: sends before the peer listens still land."""
+    inboxes = {0: [], 1: []}
+    ports = allocate_ports(2)
+
+    async def scenario():
+        a, b = _pair(ports, inboxes)
+        await a.start()
+        try:
+            for view in range(5):
+                a.send(1, ViewChange(view))
+            await asyncio.sleep(0.2)  # several failed dials happen here
+            await b.start()
+            await _wait_for(lambda: len(inboxes[1]) == 5)
+        finally:
+            await a.stop()
+            await b.stop()
+
+    asyncio.run(scenario())
+    assert inboxes[1] == [(0, ViewChange(view)) for view in range(5)]
+
+
+def test_injected_latency_delays_delivery():
+    inboxes = {0: [], 1: []}
+    ports = allocate_ports(2)
+    latency = LinkLatency(0.15)
+
+    async def scenario():
+        a, b = _pair(ports, inboxes, latency=latency)
+        await a.start()
+        await b.start()
+        try:
+            await asyncio.sleep(0.1)  # let the lanes connect first
+            t0 = time.monotonic()
+            a.send(1, ViewChange(1))
+            await _wait_for(lambda: inboxes[1])
+            return time.monotonic() - t0
+        finally:
+            await a.stop()
+            await b.stop()
+
+    elapsed = asyncio.run(scenario())
+    assert elapsed >= 0.14, elapsed
+
+
+def test_loopback_send_to_self():
+    inboxes = {0: [], 1: []}
+    ports = allocate_ports(2)
+
+    async def scenario():
+        a, _b = _pair(ports, inboxes)
+        # No start() needed: loopback never touches a socket.
+        a.send(0, ViewChange(3))
+        await _wait_for(lambda: inboxes[0])
+
+    asyncio.run(scenario())
+    assert inboxes[0] == [(0, ViewChange(3))]
+
+
+def test_link_latency_validation_and_pairs():
+    with pytest.raises(ConfigurationError):
+        LinkLatency(-0.1)
+    with pytest.raises(ConfigurationError):
+        LinkLatency(0.0, {(0, 1): -1.0})
+    latency = LinkLatency(0.01, {(0, 1): 0.5, (1, 0): 0.25})
+    assert latency.of(0, 1) == 0.5
+    assert latency.of(1, 0) == 0.25
+    assert latency.of(0, 2) == 0.01
+    rebuilt = LinkLatency.from_pairs(latency.default, latency.as_pairs())
+    assert rebuilt.of(0, 1) == 0.5 and rebuilt.of(0, 2) == 0.01
+
+
+def test_net_context_clock_and_timers():
+    async def scenario():
+        transport = NetTransport(0, HOST, allocate_ports(1)[0], {}, lambda s, m: None)
+        ctx = NetContext(0, transport, time_scale=0.05)
+        assert ctx.now == 0.0  # clock not started yet
+        ctx.start_clock()
+        fired: list[float] = []
+        handle = ctx.set_timer(1.0, lambda: fired.append(ctx.now))  # 1Δ = 50ms
+        cancelled = ctx.set_timer(10.0, lambda: fired.append(-1.0))
+        cancelled.cancel()
+        await _wait_for(lambda: fired)
+        assert not handle.cancelled
+        # The timer fired around 1Δ of wall time, and `now` runs in Δ.
+        assert 0.8 <= fired[0] <= 5.0
+        await asyncio.sleep(0.02)
+        assert -1.0 not in fired
+
+    asyncio.run(scenario())
+
+
+def test_net_context_rejects_bad_time_scale():
+    transport = NetTransport(0, HOST, allocate_ports(1)[0], {}, lambda s, m: None)
+    with pytest.raises(ConfigurationError):
+        NetContext(0, transport, time_scale=0.0)

@@ -109,9 +109,7 @@ class TestPartialSynchrony:
         assert policy.delay(0.0, 0, 1, None) is None
 
     def test_pre_gst_survivors_defer_to_gst(self):
-        policy = PartialSynchronyPolicy(
-            gst=50.0, delta=1.0, loss_before_gst=0.0, seed=4
-        )
+        policy = PartialSynchronyPolicy(gst=50.0, delta=1.0, loss_before_gst=0.0, seed=4)
         for _ in range(20):
             delay = policy.delay(0.0, 0, 1, None)
             assert delay is not None
@@ -192,17 +190,13 @@ class TestGeoLatency:
 
 class TestCrashRecovery:
     def test_messages_touching_a_down_node_are_dropped(self):
-        policy = CrashRecoveryPolicy(
-            SynchronousDelays(1.0), downtime={2: [(5.0, 10.0)]}
-        )
+        policy = CrashRecoveryPolicy(SynchronousDelays(1.0), downtime={2: [(5.0, 10.0)]})
         assert policy.delay(6.0, 2, 0, None) is None  # down sender
         assert policy.delay(6.0, 0, 2, None) is None  # down receiver
         assert policy.delay(6.0, 0, 1, None) == 1.0  # unaffected link
 
     def test_node_recovers_at_interval_end(self):
-        policy = CrashRecoveryPolicy(
-            SynchronousDelays(1.0), downtime={2: [(5.0, 10.0)]}
-        )
+        policy = CrashRecoveryPolicy(SynchronousDelays(1.0), downtime={2: [(5.0, 10.0)]})
         assert policy.delay(4.9, 0, 2, None) == 1.0
         assert policy.delay(10.0, 0, 2, None) == 1.0  # half-open interval
 
@@ -245,9 +239,7 @@ class TestCrashRecovery:
             )
 
     def test_end_to_end_drop_then_deliver(self):
-        policy = CrashRecoveryPolicy(
-            SynchronousDelays(1.0), downtime={1: [(0.0, 3.0)]}
-        )
+        policy = CrashRecoveryPolicy(SynchronousDelays(1.0), downtime={1: [(0.0, 3.0)]})
         sched, net, inboxes = make_network(policy)
         net.send(0, 1, "early")  # node 1 is down: dropped
         sched.schedule(4.0, lambda: net.send(0, 1, "late"))

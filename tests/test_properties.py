@@ -23,12 +23,8 @@ from repro.sim import PartialSynchronyPolicy, Simulation, UniformRandomDelays
     loss=st.floats(0.0, 0.95),
 )
 @settings(max_examples=25, deadline=None)
-def test_singleshot_agreement_and_termination_under_partial_synchrony(
-    seed, gst, loss
-):
-    policy = PartialSynchronyPolicy(
-        gst=gst, delta=1.0, loss_before_gst=loss, seed=seed
-    )
+def test_singleshot_agreement_and_termination_under_partial_synchrony(seed, gst, loss):
+    policy = PartialSynchronyPolicy(gst=gst, delta=1.0, loss_before_gst=loss, seed=seed)
     config = ProtocolConfig.create(4)
     sim = Simulation(policy)
     for i in range(4):
@@ -57,9 +53,7 @@ def test_singleshot_agreement_with_byzantine_node(seed, byz_kind, byz_id):
         elif byz_kind == "equivocator":
             sim.add_node(EquivocatingLeader(i, config, "eA", "eB"))
         else:
-            sim.add_node(
-                ChaosMonkey(i, config, values=["eA", "val-1", "junk"], seed=seed)
-            )
+            sim.add_node(ChaosMonkey(i, config, values=["eA", "val-1", "junk"], seed=seed))
     honest = [i for i in range(4) if i != byz_id]
     sim.run_until_all_decided(node_ids=honest, until=1200)
     latency = sim.metrics.latency
@@ -70,17 +64,13 @@ def test_singleshot_agreement_with_byzantine_node(seed, byz_kind, byz_id):
 @given(seed=st.integers(0, 10_000), gst=st.floats(0.0, 30.0))
 @settings(max_examples=15, deadline=None)
 def test_multishot_consistency_under_partial_synchrony(seed, gst):
-    policy = PartialSynchronyPolicy(
-        gst=gst, delta=1.0, loss_before_gst=0.6, seed=seed
-    )
+    policy = PartialSynchronyPolicy(gst=gst, delta=1.0, loss_before_gst=0.6, seed=seed)
     config = MultiShotConfig(base=ProtocolConfig.create(4), max_slots=8)
     sim = Simulation(policy)
     for i in range(4):
         sim.add_node(MultiShotNode(i, config))
     sim.run(until=gst + 400)
-    chains = [
-        [b.digest for b in sim.nodes[i].finalized_chain] for i in range(4)
-    ]
+    chains = [[b.digest for b in sim.nodes[i].finalized_chain] for i in range(4)]
     reference = max(chains, key=len)
     for chain in chains:
         assert reference[: len(chain)] == chain, "multishot consistency violated"
@@ -98,11 +88,7 @@ def test_storage_constant_regardless_of_schedule(seed):
     for i in range(4):
         sim.add_node(TetraBFTNode(i, config, initial_value=f"val-{i}"))
     sim.run_until_all_decided(until=500)
-    sizes = {
-        size
-        for samples in sim.metrics.storage.samples.values()
-        for size in samples
-    }
+    sizes = {size for samples in sim.metrics.storage.samples.values() for size in samples}
     assert len(sizes) <= 1
 
 

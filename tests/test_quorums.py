@@ -71,12 +71,8 @@ class TestThresholdQuorumSystem:
         """Quorum intersection: |Q1 ∩ Q2| > f for any two quorums."""
         qs = ThresholdQuorumSystem.for_nodes(n)
         members = sorted(qs.nodes)
-        q1 = data.draw(
-            st.sets(st.sampled_from(members), min_size=qs.quorum_size())
-        )
-        q2 = data.draw(
-            st.sets(st.sampled_from(members), min_size=qs.quorum_size())
-        )
+        q1 = data.draw(st.sets(st.sampled_from(members), min_size=qs.quorum_size()))
+        q2 = data.draw(st.sets(st.sampled_from(members), min_size=qs.quorum_size()))
         assert len(q1 & q2) >= qs.f + 1
 
     @given(n=st.integers(4, 30), data=st.data())
@@ -84,12 +80,8 @@ class TestThresholdQuorumSystem:
     def test_blocking_set_intersects_every_quorum(self, n, data):
         qs = ThresholdQuorumSystem.for_nodes(n)
         members = sorted(qs.nodes)
-        blocking = data.draw(
-            st.sets(st.sampled_from(members), min_size=qs.blocking_size())
-        )
-        quorum = data.draw(
-            st.sets(st.sampled_from(members), min_size=qs.quorum_size())
-        )
+        blocking = data.draw(st.sets(st.sampled_from(members), min_size=qs.blocking_size()))
+        quorum = data.draw(st.sets(st.sampled_from(members), min_size=qs.quorum_size()))
         assert blocking & quorum
 
 
@@ -97,9 +89,7 @@ class TestFBAQuorumSystem:
     def _tier_system(self) -> FBAQuorumSystem:
         """Four nodes, each trusting any 2 of the other 3 (≅ 3f+1, f=1)."""
         peers = range(4)
-        return FBAQuorumSystem.from_slices(
-            [SliceConfig.threshold(i, peers, k=2) for i in peers]
-        )
+        return FBAQuorumSystem.from_slices([SliceConfig.threshold(i, peers, k=2) for i in peers])
 
     def test_threshold_slices_match_classic_quorums(self):
         fba = self._tier_system()
@@ -127,9 +117,7 @@ class TestFBAQuorumSystem:
     def test_heterogeneous_slices(self):
         """A core of mutually-trusting nodes plus a leaf trusting the core."""
         core = [SliceConfig.threshold(i, [0, 1, 2], k=2) for i in (0, 1, 2)]
-        leaf = SliceConfig(
-            node=3, slices=frozenset([frozenset({0, 1, 3}), frozenset({1, 2, 3})])
-        )
+        leaf = SliceConfig(node=3, slices=frozenset([frozenset({0, 1, 3}), frozenset({1, 2, 3})]))
         fba = FBAQuorumSystem.from_slices(core + [leaf])
         # The core alone is a quorum; the leaf joins it but cannot form
         # one without core members.
@@ -159,4 +147,5 @@ class TestFBAQuorumSystem:
         fba = self._tier_system()
         for quorum in fba.minimal_quorums:
             for member in quorum:
-                assert not fba._quorum_closure(quorum - {member}) == quorum - {member} or not (quorum - {member})
+                shrunk = quorum - {member}
+                assert not fba._quorum_closure(shrunk) == shrunk or not shrunk

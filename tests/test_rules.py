@@ -135,9 +135,13 @@ class TestFindSafeValue:
         pin the anchor: the leader never returns 'poison'."""
         honest_value = "a"
         suggests = {
-            0: Suggest(view=2, vote2=VoteRecord(1, honest_value), vote3=VoteRecord(1, honest_value)),
-            1: Suggest(view=2, vote2=VoteRecord(1, honest_value), vote3=VoteRecord(1, honest_value)),
-            2: Suggest(view=2, vote2=VoteRecord(1, honest_value), vote3=VoteRecord(1, honest_value)),
+            i: Suggest(
+                view=2,
+                vote2=VoteRecord(1, honest_value),
+                vote3=VoteRecord(1, honest_value),
+            )
+            for i in range(3)
+        } | {
             3: Suggest(view=2, vote2=VoteRecord(1, "poison"), vote3=VoteRecord(1, "poison")),
         }
         assert find_safe_value(suggests, 2, QS4, "init") == honest_value

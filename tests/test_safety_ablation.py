@@ -98,9 +98,7 @@ class TestModelLevel:
         import repro.verification.model as model
         from repro.verification import ModelConfig, check_agreement
 
-        monkeypatch.setattr(
-            model, "shows_safe_at", lambda *args, **kwargs: True
-        )
+        monkeypatch.setattr(model, "shows_safe_at", lambda *args, **kwargs: True)
         with pytest.raises(VerificationError) as excinfo:
             check_agreement(ModelConfig(n=4, f=1, num_values=2, max_round=1))
         assert excinfo.value.trace, "violation must come with a trace"
@@ -111,9 +109,7 @@ class TestModelLevel:
         import repro.verification.model as model
         from repro.verification import ModelConfig, check_agreement
 
-        monkeypatch.setattr(
-            model, "accepted", lambda state, config, value, rnd, phase: True
-        )
+        monkeypatch.setattr(model, "accepted", lambda state, config, value, rnd, phase: True)
         with pytest.raises(VerificationError):
             check_agreement(
                 ModelConfig(n=4, f=1, num_values=2, max_round=0),

@@ -94,26 +94,20 @@ class TestCrashFaults:
 class TestPartialSynchrony:
     @pytest.mark.parametrize("seed", range(12))
     def test_agreement_and_termination_after_gst(self, seed):
-        policy = PartialSynchronyPolicy(
-            gst=30.0, delta=1.0, loss_before_gst=0.8, seed=seed
-        )
+        policy = PartialSynchronyPolicy(gst=30.0, delta=1.0, loss_before_gst=0.8, seed=seed)
         sim = build_simulation(4, policy=policy)
         sim.run_until_all_decided(until=2000)
         assert_agreement(sim, [0, 1, 2, 3])
 
     def test_total_message_loss_before_gst(self):
-        policy = PartialSynchronyPolicy(
-            gst=25.0, delta=1.0, loss_before_gst=1.0, seed=0
-        )
+        policy = PartialSynchronyPolicy(gst=25.0, delta=1.0, loss_before_gst=1.0, seed=0)
         sim = build_simulation(4, policy=policy)
         sim.run_until_all_decided(until=2000)
         assert_agreement(sim, [0, 1, 2, 3])
 
     def test_partition_heals_and_decides(self):
         base = SynchronousDelays(1.0)
-        policy = PartitionPolicy(
-            base, groups=[frozenset({0, 1})], heal_time=40.0
-        )
+        policy = PartitionPolicy(base, groups=[frozenset({0, 1})], heal_time=40.0)
         sim = build_simulation(4, policy=policy)
         sim.run_until_all_decided(until=2000)
         assert_agreement(sim, [0, 1, 2, 3])
@@ -121,16 +115,10 @@ class TestPartialSynchrony:
         assert min(sim.metrics.latency.decision_times.values()) >= 40.0
 
     def test_storage_stays_constant_through_asynchrony(self):
-        policy = PartialSynchronyPolicy(
-            gst=50.0, delta=1.0, loss_before_gst=0.7, seed=3
-        )
+        policy = PartialSynchronyPolicy(gst=50.0, delta=1.0, loss_before_gst=0.7, seed=3)
         sim = build_simulation(4, policy=policy)
         sim.run_until_all_decided(until=2000)
-        sizes = {
-            size
-            for samples in sim.metrics.storage.samples.values()
-            for size in samples
-        }
+        sizes = {size for samples in sim.metrics.storage.samples.values() for size in samples}
         assert len(sizes) == 1, f"persistent storage varied: {sizes}"
 
 

@@ -266,9 +266,7 @@ class TestReplicaIntegration:
     def test_liveness_through_leader_crash(self):
         """Definition 2 liveness: transactions survive aborted blocks
         (their batches are re-proposed after the view change)."""
-        policy = TargetedDropPolicy(
-            SynchronousDelays(1.0), silence_nodes([3]), end=25.0
-        )
+        policy = TargetedDropPolicy(SynchronousDelays(1.0), silence_nodes([3]), end=25.0)
         replicas = run_replicas(policy=policy, horizon=200.0, txns=30, batch=5)
         live = [r for r in replicas]
         digests = {r.state_digest() for r in live}
@@ -290,12 +288,8 @@ class TestReplicaIntegration:
 
     def test_consistency_under_asynchrony(self):
         for seed in range(4):
-            policy = PartialSynchronyPolicy(
-                gst=15.0, delta=1.0, loss_before_gst=0.5, seed=seed
-            )
-            replicas = run_replicas(
-                policy=policy, horizon=400.0, txns=20, batch=5
-            )
+            policy = PartialSynchronyPolicy(gst=15.0, delta=1.0, loss_before_gst=0.5, seed=seed)
+            replicas = run_replicas(policy=policy, horizon=400.0, txns=20, batch=5)
             digests = {r.state_digest() for r in replicas}
             assert len(digests) == 1, f"seed {seed}: divergent state"
 
@@ -339,9 +333,7 @@ class TestPreStartSubmit:
         from repro.metrics.smr_trackers import SMRTrackers
 
         trackers = SMRTrackers()
-        replicas = [
-            Replica(i, config, max_batch=5, trackers=trackers) for i in range(4)
-        ]
+        replicas = [Replica(i, config, max_batch=5, trackers=trackers) for i in range(4)]
         for replica in replicas:
             sim.add_node(replica)
         for k in range(10):

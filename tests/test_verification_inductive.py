@@ -64,9 +64,7 @@ def test_invariant_is_inductive(state):
     if not consistency_invariant(state, CFG):
         return
     for action, nxt in successors(state, CFG):
-        assert consistency_invariant(nxt, CFG), (
-            f"invariant broken by {action} from {state}"
-        )
+        assert consistency_invariant(nxt, CFG), (f"invariant broken by {action} from {state}")
 
 
 @given(state=model_states())

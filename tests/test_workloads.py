@@ -33,9 +33,7 @@ class TestGenerators:
         assert {t for t, _ in txns} == {0.0, 10.0, 20.0}
 
     def test_hotkey_skew(self):
-        txns = list(
-            HotKeyWorkload(count=500, hot_keys=2, hot_fraction=0.9, seed=0).transactions()
-        )
+        txns = list(HotKeyWorkload(count=500, hot_keys=2, hot_fraction=0.9, seed=0).transactions())
         hot = sum(1 for _, t in txns if str(t.op[1]).startswith("hot-"))
         assert hot / len(txns) > 0.8
 
