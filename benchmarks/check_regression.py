@@ -10,7 +10,7 @@ records against the committed baselines and fails (exit 1) when any
 smoke cell's wall-clock rate regressed by more than the threshold
 (default 30%).
 
-Two kinds of cells are gated:
+Three kinds of cells are gated:
 
 * **aggregate hot-path records** (``event_core_2x`` events/sec,
   ``smr_hot_path_2x`` txns/sec) — measured over large runs, ~1%
@@ -22,6 +22,10 @@ Two kinds of cells are gated:
   observed run-to-run swing is larger than the threshold), so they are
   reported but not gated.  The large cells and the aggregates carry
   the gate.
+* **message-plane ceilings** (messages/Δ and frames/Δ per SMR smoke
+  cell) — deterministic simulated-time rates that must not *grow* past
+  the threshold; a jump means aggregation silently stopped working or
+  a change multiplied protocol traffic.
 
 Usage (what the CI workflow runs after the bench smoke jobs)::
 
@@ -75,6 +79,28 @@ GATED_AGGREGATES: tuple[tuple[str, str], ...] = (
     ("smr", "smr_hot_path_2x"),
 )
 
+#: Ceiling-gated cells: simulated-time message-plane rates (messages/Δ
+#: and frames/Δ) that must not *grow* past the threshold.  These are
+#: deterministic — the same seed replays the same run — so they gate
+#: regardless of wall clock: a jump means the message plane regressed
+#: (batching silently off, or a protocol change multiplying traffic).
+GATED_CEILINGS: tuple[tuple[str, str, tuple[str, ...], str], ...] = (
+    ("smr", "smr_smoke", ("engine", "workload", "scenario", "n"), "messages_per_delay"),
+    ("smr", "smr_smoke", ("engine", "workload", "scenario", "n"), "frames_per_delay"),
+    (
+        "smr",
+        "engine_matrix_smoke",
+        ("engine", "workload", "scenario", "n"),
+        "messages_per_delay",
+    ),
+    (
+        "smr",
+        "engine_matrix_smoke",
+        ("engine", "workload", "scenario", "n"),
+        "frames_per_delay",
+    ),
+)
+
 _AGGREGATE_METRICS = {"event_core_2x": "events_per_sec", "smr_hot_path_2x": "txns_per_sec"}
 
 
@@ -122,7 +148,14 @@ def compare(
     regressions: list[str] = []
     notes: list[str] = []
 
-    def judge(label: str, metric: str, base_rate: float, rate: float, gated: bool) -> None:
+    def judge(
+        label: str,
+        metric: str,
+        base_rate: float,
+        rate: float,
+        gated: bool,
+        ceiling: bool = False,
+    ) -> None:
         if base_rate <= 0:
             notes.append(f"{label}: non-positive baseline {base_rate}")
             return
@@ -130,7 +163,9 @@ def compare(
         line = f"{label}: {metric} {base_rate:,.0f} → {rate:,.0f} " f"({(ratio - 1) * 100:+.1f}%)"
         if not gated:
             notes.append(f"{line} [noisy cell, not gated]")
-        elif ratio < 1.0 - threshold:
+        elif ceiling and ratio > 1.0 + threshold:
+            regressions.append(f"{line} [ceiling]")
+        elif not ceiling and ratio < 1.0 - threshold:
             regressions.append(line)
         else:
             notes.append(line)
@@ -172,6 +207,20 @@ def compare(
             judge(label, metric, base_rate, rate, gated)
         for cell_id in sorted(set(fresh) - set(baseline), key=repr):
             notes.append(f"{stem}/{key} {dict(zip(identity, cell_id))}: new cell (no baseline)")
+
+    for stem, key, identity, metric in GATED_CEILINGS:
+        baseline = index_cells(baselines[stem], key, identity, metric)
+        fresh = index_cells(fresh_all[stem], key, identity, metric)
+        if not baseline:
+            notes.append(f"{stem}/{key} ({metric}): no baseline cells — skipping")
+            continue
+        for cell_id, (base_rate, _) in sorted(baseline.items(), key=repr):
+            label = f"{stem}/{key} {dict(zip(identity, cell_id))}"
+            if cell_id not in fresh:
+                notes.append(f"{label}: {metric} missing from fresh run")
+                continue
+            rate, _ = fresh[cell_id]
+            judge(label, metric, base_rate, rate, gated=True, ceiling=True)
     return regressions, notes
 
 

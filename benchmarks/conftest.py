@@ -56,6 +56,8 @@ def smr_row_record(row) -> dict:
         "p99_delays": row.p99,
         "txns_per_sec": row.txns_per_sec,
         "txns_per_delay": row.txns_per_delay,
+        "messages_per_delay": row.messages_per_delay,
+        "frames_per_delay": row.frames_per_delay,
         "mempool_peak": row.mempool_peak,
     }
 

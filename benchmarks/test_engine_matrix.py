@@ -33,6 +33,7 @@ import pytest
 from repro.core import ProtocolConfig
 from repro.eval.engine_matrix import (
     format_engine_report,
+    run_batching_ablation,
     run_engine_matrix,
     run_engine_smoke,
 )
@@ -100,6 +101,33 @@ def test_engine_matrix_full_grid(once):
         )
         if row.scenario == "sync":
             assert row.committed == row.txns, (row.engine, row.workload, row.n)
+
+
+@heavy
+def test_batching_ablation_n16(once, bench_record, row_record):
+    """Message-plane A/B at n=16: batching changes frames/Δ, nothing else.
+
+    The nightly cell that keeps the aggregation plane honest at a size
+    where it matters: same commits and identical client-observed
+    latency (batching is semantics-free and the scenario is
+    deterministic), strictly fewer physical frames.
+    """
+    rows = once(run_batching_ablation)
+    print()
+    print(format_engine_report(rows))
+    batched, unbatched = rows
+    assert batched.engine == "tetrabft"
+    assert unbatched.engine == "tetrabft-nobatch"
+    assert batched.committed == batched.txns
+    assert unbatched.committed == unbatched.txns
+    assert (batched.p50, batched.p95, batched.p99) == (
+        unbatched.p50,
+        unbatched.p95,
+        unbatched.p99,
+    )
+    assert unbatched.frames == unbatched.messages
+    assert batched.frames < unbatched.frames
+    bench_record("smr", "batching_ablation_n16", [row_record(row) for row in rows])
 
 
 # --- pre-refactor direct wiring (the boundary's identity oracle) ---------------

@@ -82,6 +82,8 @@ def test_throughput_sweep_reaches_n128(once, bench_record):
                 "events": row.events,
                 "wall_seconds": row.wall_seconds,
                 "events_per_sec": row.events_per_sec,
+                "messages_per_delay": row.messages_per_delay,
+                "frames_per_delay": row.frames_per_delay,
                 "decided": row.decided,
             }
             for row in rows

@@ -51,6 +51,7 @@ from repro.baselines.base import BPhaseVote, BProposal, BRound, BViewChange
 from repro.baselines.chained import SlotMessage
 from repro.core.config import ProtocolConfig
 from repro.core.messages import VoteRecord
+from repro.multishot.batching import iter_logical
 from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore, Digest
 from repro.multishot.messages import (
     MSProof,
@@ -141,7 +142,12 @@ class _DeviantContext(NodeContext):
         self._engine._emit(self._engine.deviation.outbound(dst, message))
 
     def broadcast(self, message: object) -> None:
-        self._engine._emit(self._engine.deviation.outbound(None, message))
+        # Unbatch aggregated frames so type-dispatching deviations see
+        # every logical message; a faulty node's own traffic then goes
+        # out unbatched, which only it can observe.
+        engine = self._engine
+        for item in iter_logical(message):
+            engine._emit(engine.deviation.outbound(None, item))
 
 
 class FaultyEngine:
@@ -171,8 +177,11 @@ class FaultyEngine:
         self.deviation.on_start()
 
     def receive(self, sender: NodeId, message: object) -> None:
-        if self.deviation.inbound(sender, message):
-            self.inner.receive(sender, message)
+        # Filter aggregated frames per logical message — otherwise an
+        # envelope would smuggle whole vote batches past the deviation.
+        for item in iter_logical(message):
+            if self.deviation.inbound(sender, item):
+                self.inner.receive(sender, item)
 
     @property
     def store(self) -> BlockStore:

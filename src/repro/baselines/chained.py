@@ -49,7 +49,9 @@ from dataclasses import dataclass, replace
 
 from repro.baselines.base import BaselineSpec, BViewChange, ChainVotingNode
 from repro.core.config import ProtocolConfig
+from repro.multishot.batching import BatchingContext, batching_enabled
 from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore
+from repro.multishot.messages import VoteBatch
 from repro.multishot.node import (
     FinalizeCallback,
     PayloadFn,
@@ -200,6 +202,7 @@ class ChainedEngine:
         payload_fn: PayloadFn | None = None,
         on_finalize: FinalizeCallback | None = None,
         max_slots: int | None = None,
+        batching: bool | None = None,
     ) -> None:
         self.node_id = node_id
         self.base = base
@@ -207,6 +210,9 @@ class ChainedEngine:
         self.payload_fn = payload_fn if payload_fn is not None else default_payload
         self.on_finalize = on_finalize
         self.max_slots = max_slots
+        # None → consult the REPRO_NO_BATCH escape hatch at start().
+        self._batching = batching
+        self._batch_ctx: BatchingContext | None = None
         self.store = BlockStore()
         self.finalized: list[Block] = []
         self._finalized_digests: set[str] = set()
@@ -239,8 +245,15 @@ class ChainedEngine:
     # -- lifecycle ----------------------------------------------------------------
 
     def start(self, ctx: NodeContext) -> None:
+        if self._batching is None:
+            self._batching = batching_enabled()
+        if self._batching:
+            self._batch_ctx = BatchingContext(ctx)
+            ctx = self._batch_ctx
         self._ctx = ctx
         self._start_slot(1)
+        if self._batch_ctx is not None:
+            self._batch_ctx.flush()
 
     def _start_slot(self, slot: int) -> None:
         if self.max_slots is not None and slot > self.max_slots:
@@ -263,6 +276,15 @@ class ChainedEngine:
     # -- receive -------------------------------------------------------------------
 
     def receive(self, sender: NodeId, message: object) -> None:
+        if type(message) is VoteBatch:
+            for item in message.messages:
+                self._receive_one(sender, item)
+        else:
+            self._receive_one(sender, message)
+        if self._batch_ctx is not None:
+            self._batch_ctx.flush()
+
+    def _receive_one(self, sender: NodeId, message: object) -> None:
         if isinstance(message, CatchUp):
             if message.slot > self.active_slot:
                 if message.slot <= self.active_slot + BUFFER_WINDOW:

@@ -15,11 +15,18 @@ from repro.eval.attacks import (
     run_attack_smoke,
 )
 from repro.eval.engine_matrix import (
+    run_batching_ablation,
     run_engine_matrix,
     run_engine_smoke,
 )
 from repro.eval.fig1_lemmas import LemmaChainResult, run_lemma_chain
-from repro.eval.net_bench import NetRow, run_net_cell, run_net_grid, run_net_smoke
+from repro.eval.net_bench import (
+    NetRow,
+    run_net_batching_ablation,
+    run_net_cell,
+    run_net_grid,
+    run_net_smoke,
+)
 from repro.eval.fig2_pipeline import PipelineResult, run_pipeline
 from repro.eval.fig3_viewchange import ViewChangeResult, run_viewchange
 from repro.eval.responsiveness import ResponsivenessPoint, run_responsiveness
@@ -47,10 +54,12 @@ __all__ = [
     "run_attack_cell",
     "run_attack_grid",
     "run_attack_smoke",
+    "run_batching_ablation",
     "run_engine_matrix",
     "run_engine_smoke",
     "run_lemma_chain",
     "run_net_cell",
+    "run_net_batching_ablation",
     "run_net_grid",
     "run_net_smoke",
     "run_pipeline",

@@ -69,6 +69,20 @@ def run_engine_smoke(txns: int = 60, batch: int = 10) -> list[SMRRow]:
     )
 
 
+def run_batching_ablation(n: int = 16, txns: int = 200, batch: int = 20) -> list[SMRRow]:
+    """Message-plane A/B: TetraBFT with and without vote-frame batching.
+
+    The unbatched row is labelled ``tetrabft-nobatch`` so the two cells
+    sit side by side in the report and the BENCH record.  Batching is
+    semantics-free — the committed/latency columns must match; the
+    frames/Δ column is where the two rows are allowed to differ.
+    """
+    batched = run_smr_bench("uniform", "sync", n, txns=txns, batch=batch, batching=True)
+    unbatched = run_smr_bench("uniform", "sync", n, txns=txns, batch=batch, batching=False)
+    unbatched.engine = "tetrabft-nobatch"
+    return [batched, unbatched]
+
+
 def format_engine_report(rows: list[SMRRow]) -> str:
     return format_table(
         [
@@ -85,6 +99,8 @@ def format_engine_report(rows: list[SMRRow]) -> str:
                 "txn/s": row.txns_per_sec,
                 "txn/Δ": row.txns_per_delay,
                 "blk/Δ": row.blocks_per_delay,
+                "msg/Δ": row.messages_per_delay,
+                "frm/Δ": row.frames_per_delay,
                 "mp-peak": row.mempool_peak,
             }
             for row in rows
@@ -102,6 +118,8 @@ def format_engine_report(rows: list[SMRRow]) -> str:
             "txn/s",
             "txn/Δ",
             "blk/Δ",
+            "msg/Δ",
+            "frm/Δ",
             "mp-peak",
         ],
         title="A5 — cross-engine SMR latency / throughput (shared client path)",
@@ -110,7 +128,7 @@ def format_engine_report(rows: list[SMRRow]) -> str:
 
 def main() -> None:  # pragma: no cover - CLI entry
     if os.environ.get("REPRO_HEAVY"):
-        rows = run_engine_matrix()
+        rows = run_engine_matrix() + run_batching_ablation()
     else:
         rows = run_engine_smoke()
         print("(smoke slice: sync scenario, n=4 — REPRO_HEAVY=1 for the full grid)")

@@ -88,12 +88,23 @@ class NetRow:
     safe: bool
     live: bool
     checks: dict[str, bool]
+    #: Summed over the cluster's CollectReplies: physical frames each
+    #: replica read off its peer sockets vs the logical messages inside
+    #: them (one VoteBatch frame carries many votes).
+    frames_in: int = 0
+    messages_in: int = 0
 
     @property
     def txns_per_sec(self) -> float:
         if self.wall_seconds <= 0:
             return 0.0
         return self.committed / self.wall_seconds
+
+    @property
+    def msgs_per_frame(self) -> float:
+        if self.frames_in <= 0:
+            return 0.0
+        return self.messages_in / self.frames_in
 
     @property
     def verdict(self) -> str:
@@ -188,15 +199,54 @@ def _row_from_result(
         safe=report.safe,
         live=live,
         checks=dict(report.checks),
+        frames_in=sum(reply.frames_in for reply in result.replies.values()),
+        messages_in=sum(reply.messages_in for reply in result.replies.values()),
     )
 
 
 def run_net_smoke(txns: int = 40, batch: int = 10) -> list[NetRow]:
     """The CI-sized slice: n=4 TetraBFT, every workload on lan, plus
-    the crash cell that demonstrates f=1 fault tolerance end to end."""
+    the crash cell that demonstrates f=1 fault tolerance end to end
+    and the n=7 bursty cell (f=2, capacity-bound: the cell where
+    message-plane batching shows up as wall-clock throughput)."""
     rows = [run_net_cell(workload, "lan", 4, txns=txns, batch=batch) for workload in NET_WORKLOADS]
     rows.append(run_net_cell("uniform", "crash", 4, txns=txns, batch=batch))
+    rows.append(run_net_cell("bursty", "lan", 7, txns=txns, batch=batch))
     return rows
+
+
+def _median_by_rate(rows: list[NetRow]) -> NetRow:
+    """The row with the median wall-clock rate of its arm."""
+    ordered = sorted(rows, key=lambda row: row.txns_per_sec)
+    return ordered[len(ordered) // 2]
+
+
+def run_net_batching_ablation(
+    n: int = 7, txns: int = 50, batch: int = 10, repeats: int = 3
+) -> list[NetRow]:
+    """Message-plane A/B over real sockets: the capacity-bound n=7
+    bursty cell with batching on (default) vs forced off via
+    ``REPRO_NO_BATCH=1`` in the replica processes' environment.
+
+    The wall-clock txns/sec delta between the two rows is what the
+    aggregation plane is worth end to end — fewer syscalls, fewer
+    frames, one codec pass per batch.  A single cluster run's rate
+    swings well past the effect size on a busy host, so each arm runs
+    ``repeats`` times and reports its median-rate row; the unbatched
+    row is renamed ``tetrabft-nobatch`` so both fit one record.
+    """
+    batched = _median_by_rate(
+        [run_net_cell("bursty", "lan", n, txns=txns, batch=batch) for _ in range(repeats)]
+    )
+    os.environ["REPRO_NO_BATCH"] = "1"
+    try:
+        unbatched = _median_by_rate(
+            [run_net_cell("bursty", "lan", n, txns=txns, batch=batch) for _ in range(repeats)]
+        )
+    finally:
+        del os.environ["REPRO_NO_BATCH"]
+    unbatched.engine = "tetrabft-nobatch"
+    return [batched, unbatched]
 
 
 def run_net_grid(txns: int = 60, batch: int = 10) -> list[NetRow]:
@@ -232,6 +282,9 @@ def net_record(row: NetRow) -> dict:
         "safe": row.safe,
         "live": row.live,
         "checks": dict(row.checks),
+        "frames_in": row.frames_in,
+        "messages_in": row.messages_in,
+        "msgs_per_frame": row.msgs_per_frame,
     }
 
 
@@ -254,6 +307,7 @@ def format_net_report(rows: list[NetRow]) -> str:
                 "p99(ms)": row.p99_ms,
                 "txn/s": row.txns_per_sec,
                 "blk": row.blocks,
+                "msg/frm": row.msgs_per_frame,
                 "verdict": row.verdict,
             }
             for row in rows
@@ -270,6 +324,7 @@ def format_net_report(rows: list[NetRow]) -> str:
             "p99(ms)",
             "txn/s",
             "blk",
+            "msg/frm",
             "verdict",
         ],
         title="A7 — deployed clusters over TCP (wall clock, audited)",

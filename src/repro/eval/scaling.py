@@ -135,12 +135,31 @@ class ThroughputRow:
     events: int
     wall_seconds: float
     decided: bool
+    #: Physical frames vs logical messages on the simulated network and
+    #: the simulated duration they accrued over; single-shot nodes send
+    #: one message per frame, so the per-Δ rates coincide here and
+    #: diverge only for the batching engines (A4/A5 rows).
+    frames: int = 0
+    messages: int = 0
+    duration: float = 0.0
 
     @property
     def events_per_sec(self) -> float:
         if self.wall_seconds <= 0:
             return float("inf")
         return self.events / self.wall_seconds
+
+    @property
+    def messages_per_delay(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.messages / self.duration
+
+    @property
+    def frames_per_delay(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.frames / self.duration
 
 
 def measure_throughput(scenario: str, n: int, stop_check_interval: int = 64) -> ThroughputRow:
@@ -153,7 +172,7 @@ def measure_throughput(scenario: str, n: int, stop_check_interval: int = 64) -> 
         sim.add_node(TetraBFTNode(i, config, f"val-{i}"))
     targets = [i for i in range(n) if i not in excluded]
     start = time.perf_counter()
-    sim.run_until_all_decided(
+    end = sim.run_until_all_decided(
         exclude=excluded,
         until=400,
         stop_check_interval=stop_check_interval,
@@ -165,6 +184,9 @@ def measure_throughput(scenario: str, n: int, stop_check_interval: int = 64) -> 
         events=sim.scheduler.events_fired,
         wall_seconds=wall,
         decided=sim.metrics.latency.all_decided(targets),
+        frames=sim.network.frames_sent,
+        messages=sim.network.messages_sent,
+        duration=end,
     )
 
 
@@ -185,11 +207,13 @@ def format_throughput_report(rows: list[ThroughputRow]) -> str:
                 "events": row.events,
                 "wall_s": row.wall_seconds,
                 "events/sec": row.events_per_sec,
+                "msg/Δ": row.messages_per_delay,
+                "frm/Δ": row.frames_per_delay,
                 "decided": row.decided,
             }
             for row in rows
         ],
-        columns=["scenario", "n", "events", "wall_s", "events/sec", "decided"],
+        columns=["scenario", "n", "events", "wall_s", "events/sec", "msg/Δ", "frm/Δ", "decided"],
         title="A1b — simulator throughput (TetraBFT, full runs)",
     )
 

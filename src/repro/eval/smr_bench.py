@@ -96,12 +96,29 @@ class SMRRow:
     blocks: int
     mempool_peak: int
     engine: str = "tetrabft"
+    #: Physical frames vs logical messages put on the simulated network
+    #: (a VoteBatch is one frame, many messages); their per-Δ rates are
+    #: the message-plane batching figures the report carries.
+    frames: int = 0
+    messages: int = 0
 
     @property
     def txns_per_sec(self) -> float:
         if self.wall_seconds <= 0:
             return float("inf")
         return self.committed / self.wall_seconds
+
+    @property
+    def messages_per_delay(self) -> float:
+        if self.sim_duration <= 0:
+            return 0.0
+        return self.messages / (self.sim_duration / DELTA)
+
+    @property
+    def frames_per_delay(self) -> float:
+        if self.sim_duration <= 0:
+            return 0.0
+        return self.frames / (self.sim_duration / DELTA)
 
     @property
     def txns_per_delay(self) -> float:
@@ -125,6 +142,7 @@ def run_smr_bench(
     seed: int = 0,
     horizon: float = 400.0,
     engine: str = "tetrabft",
+    batching: bool | None = None,
 ) -> SMRRow:
     """One full SMR run: n replicas, one workload, one network scenario.
 
@@ -146,7 +164,9 @@ def run_smr_bench(
     # on decision but may burn slots on empty blocks between bursts, so
     # they get an uncapped chain bounded by the horizon instead.
     max_slots = slots_needed + 40 if engine == "tetrabft" else None
-    factory = engine_factory(engine, ProtocolConfig.create(n), max_slots=max_slots)
+    factory = engine_factory(
+        engine, ProtocolConfig.create(n), max_slots=max_slots, batching=batching
+    )
     sim = Simulation(policy)
     sim.metrics.messages.enabled = False
     trackers = SMRTrackers()
@@ -184,6 +204,8 @@ def run_smr_bench(
         sim_duration=min(end, throughput.last_commit_time or end),
         blocks=throughput.min_blocks_applied(live),
         mempool_peak=throughput.peak_mempool(live),
+        frames=sim.network.frames_sent,
+        messages=sim.network.messages_sent,
     )
 
 
@@ -223,6 +245,8 @@ def format_smr_report(rows: list[SMRRow]) -> str:
                 "txn/s": row.txns_per_sec,
                 "txn/Δ": row.txns_per_delay,
                 "blk/Δ": row.blocks_per_delay,
+                "msg/Δ": row.messages_per_delay,
+                "frm/Δ": row.frames_per_delay,
                 "mp-peak": row.mempool_peak,
             }
             for row in rows
@@ -239,6 +263,8 @@ def format_smr_report(rows: list[SMRRow]) -> str:
             "txn/s",
             "txn/Δ",
             "blk/Δ",
+            "msg/Δ",
+            "frm/Δ",
             "mp-peak",
         ],
         title="A4 — SMR client latency / throughput (full replica clusters)",

@@ -68,6 +68,14 @@ class MessageMetrics:
     batched form of :meth:`record_send` for n identical copies of one
     message: the wire size is estimated once and multiplied, producing
     counter totals identical to n individual ``record_send`` calls.
+
+    Aggregated envelopes (anything exposing ``logical_messages()``,
+    e.g. :class:`~repro.multishot.messages.VoteBatch`) are expanded to
+    their payloads before accounting, so the Table 1 per-type message
+    and byte counts measure *logical* protocol traffic and stay
+    comparable whether or not the message plane batches frames.  The
+    frame-level view lives in the network's ``frames_sent`` /
+    ``messages_sent`` counters instead.
     """
 
     sent_count: Counter = field(default_factory=Counter)
@@ -79,14 +87,17 @@ class MessageMetrics:
     enabled: bool = True
 
     def record_send(self, sender: int, message: object) -> None:
-        size = estimate_wire_size(message)
-        type_name = type(message).__name__
-        self.sent_count[sender] += 1
-        self.bytes_sent_by_node[sender] += size
-        self.bytes_by_type[type_name] += size
-        self.count_by_type[type_name] += 1
+        self.record_broadcast(sender, message, 1)
 
     def record_broadcast(self, sender: int, message: object, copies: int) -> None:
+        expand = getattr(message, "logical_messages", None)
+        if expand is None:
+            self._record(sender, message, copies)
+        else:
+            for item in expand():
+                self._record(sender, item, copies)
+
+    def _record(self, sender: int, message: object, copies: int) -> None:
         size = estimate_wire_size(message)
         type_name = type(message).__name__
         self.sent_count[sender] += copies

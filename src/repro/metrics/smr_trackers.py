@@ -102,7 +102,11 @@ class ThroughputTracker:
         self._blocks[node] += 1
         self._txns[node] += txns
         self.record_mempool(node, mempool_size)
-        if time > self.last_commit_time:
+        # Only blocks that commit client work move the clock: trailing
+        # empty blocks (finalized while the run coasts past the stop
+        # predicate's polling window) would otherwise stretch the
+        # measured duration by however far the overshoot ran.
+        if txns > 0 and time > self.last_commit_time:
             self.last_commit_time = time
 
     def record_mempool(self, node: int, size: int) -> None:

@@ -73,4 +73,33 @@ class MSProof:
     vote4: VoteRecord = EMPTY_VOTE
 
 
+@dataclass(frozen=True)
+class VoteBatch:
+    """Aggregated vote frame: one physical envelope, many logical messages.
+
+    The message plane batches all broadcasts a node emits within one
+    activation — typically every vote it casts for a Δ, with the
+    leader's proposal piggybacked alongside its own implicit vote —
+    into a single :class:`VoteBatch`.  Receivers unbatch before
+    dispatch, so protocol logic only ever sees the individual messages
+    in their original order and the envelope never changes semantics,
+    only the frame count.
+    """
+
+    messages: tuple
+
+    def logical_count(self) -> int:
+        """Number of protocol messages this envelope carries."""
+        return len(self.messages)
+
+    def logical_messages(self) -> tuple:
+        return self.messages
+
+    def wire_size(self) -> int:
+        from repro.metrics.collectors import estimate_wire_size
+
+        # Envelope overhead is a length word; payloads dominate.
+        return 4 + sum(estimate_wire_size(m) for m in self.messages)
+
+
 MultiShotMessage = MSProposal | MSVote | MSViewChange | MSSuggest | MSProof

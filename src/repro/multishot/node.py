@@ -57,6 +57,7 @@ from repro.core.rules import find_safe_value, proposal_is_safe
 from repro.core.storage import VoteStorage
 from repro.core.values import Phase
 from repro.errors import ConfigurationError
+from repro.multishot.batching import BatchingContext, batching_enabled
 from repro.multishot.block import GENESIS_DIGEST, Block, BlockStore, Digest
 from repro.multishot.chain import FINALITY_WINDOW, ChainState
 from repro.multishot.messages import (
@@ -65,6 +66,7 @@ from repro.multishot.messages import (
     MSSuggest,
     MSViewChange,
     MSVote,
+    VoteBatch,
 )
 from repro.quorums.system import NodeId
 from repro.sim.events import EventHandle
@@ -144,6 +146,7 @@ class MultiShotNode(SimNode):
         config: MultiShotConfig,
         payload_fn: PayloadFn | None = None,
         on_finalize: FinalizeCallback | None = None,
+        batching: bool | None = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -153,6 +156,9 @@ class MultiShotNode(SimNode):
         self.chain = ChainState(self.store)
         self.slots: dict[int, _SlotState] = {}
         self._ctx: NodeContext | None = None
+        # None → consult the REPRO_NO_BATCH escape hatch at start().
+        self._batching = batching
+        self._batch_ctx: BatchingContext | None = None
 
     # -- helpers -------------------------------------------------------------------
 
@@ -178,9 +184,16 @@ class MultiShotNode(SimNode):
     # -- lifecycle ------------------------------------------------------------------
 
     def start(self, ctx: NodeContext) -> None:
+        if self._batching is None:
+            self._batching = batching_enabled()
+        if self._batching:
+            self._batch_ctx = BatchingContext(ctx)
+            ctx = self._batch_ctx
         self._ctx = ctx
         self._start_slot(1)
         self._maybe_propose(1)
+        if self._batch_ctx is not None:
+            self._batch_ctx.flush()
 
     def _start_slot(self, slot: int) -> None:
         if slot > self.config.max_slots:
@@ -215,6 +228,15 @@ class MultiShotNode(SimNode):
     # -- receive dispatch ---------------------------------------------------------------
 
     def receive(self, sender: NodeId, message: object) -> None:
+        if type(message) is VoteBatch:
+            for item in message.messages:
+                self._dispatch(sender, item)
+        else:
+            self._dispatch(sender, message)
+        if self._batch_ctx is not None:
+            self._batch_ctx.flush()
+
+    def _dispatch(self, sender: NodeId, message: object) -> None:
         if isinstance(message, MSProposal):
             self._on_proposal(sender, message)
         elif isinstance(message, MSVote):

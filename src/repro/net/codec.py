@@ -48,7 +48,9 @@ from repro.errors import ReproError
 
 #: Bumped whenever the frame layout or a registered message's field set
 #: changes incompatibly.  Decoders reject every other version.
-WIRE_VERSION = 1
+#: v2: VoteBatch envelope registered; CollectReply gained the
+#: frames_in/messages_in counters the bench layer reports.
+WIRE_VERSION = 2
 
 #: First byte of every frame body; guards against a stray TCP client.
 MAGIC = 0xB7
@@ -67,6 +69,13 @@ _F64 = struct.Struct(">d")
 _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
 
+# Shared zero blocks: extending a bytearray from these allocates no new
+# objects, after which ``pack_into`` writes the scalar in place — the
+# struct-packed hot path that replaced the old list-of-bytes encoder.
+_ZERO2 = bytes(2)
+_ZERO4 = bytes(4)
+_ZERO8 = bytes(8)
+
 
 class CodecError(ReproError):
     """A message could not be encoded or a frame could not be decoded.
@@ -78,15 +87,20 @@ class CodecError(ReproError):
 
 
 class _Reader:
-    """Cursor over one frame body; every read checks bounds."""
+    """Cursor over one frame body; every read checks bounds.
+
+    Works over ``bytes`` or a ``memoryview`` — the frame buffer hands
+    decode a zero-copy view into its reassembly buffer, so per-frame
+    body copies disappear from the socket hot path.
+    """
 
     __slots__ = ("data", "pos")
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: bytes | memoryview) -> None:
         self.data = data
         self.pos = 0
 
-    def take(self, count: int) -> bytes:
+    def take(self, count: int):
         end = self.pos + count
         if end > len(self.data):
             raise CodecError(
@@ -152,61 +166,100 @@ class WireCodec:
 
     def encode(self, message: object) -> bytes:
         """One frame body (magic + version + type id + payload)."""
-        type_id = self.type_id_of(type(message))
-        parts = [bytes((MAGIC, WIRE_VERSION)), _U16.pack(type_id)]
-        for name in self._fields_by_type[type(message)]:
-            self._encode_value(getattr(message, name), parts)
-        return b"".join(parts)
+        buf = bytearray()
+        self._encode_body_into(message, buf)
+        return bytes(buf)
 
     def encode_frame(self, message: object) -> bytes:
         """A full length-prefixed frame, ready for a stream socket."""
-        body = self.encode(message)
-        if len(body) > MAX_FRAME:
-            raise CodecError(f"frame body of {len(body)} bytes exceeds MAX_FRAME")
-        return _U32.pack(len(body)) + body
+        buf = bytearray()
+        self.encode_frame_into(message, buf)
+        return bytes(buf)
 
-    def _encode_value(self, value: object, parts: list[bytes]) -> None:
-        # bool before int: bool is an int subclass.
+    def encode_frame_into(self, message: object, buf: bytearray) -> None:
+        """Append one length-prefixed frame to ``buf``.
+
+        The transport builds a whole flush's worth of frames into a
+        single buffer this way and hands the socket one write — the
+        ``writev``-style path that replaces per-frame ``bytes``
+        concatenation.
+        """
+        start = len(buf)
+        buf.extend(_ZERO4)
+        self._encode_body_into(message, buf)
+        length = len(buf) - start - 4
+        if length > MAX_FRAME:
+            raise CodecError(f"frame body of {length} bytes exceeds MAX_FRAME")
+        _U32.pack_into(buf, start, length)
+
+    def _encode_body_into(self, message: object, buf: bytearray) -> None:
+        type_id = self.type_id_of(type(message))
+        pos = len(buf)
+        buf.append(MAGIC)
+        buf.append(WIRE_VERSION)
+        buf.extend(_ZERO2)
+        _U16.pack_into(buf, pos + 2, type_id)
+        for name in self._fields_by_type[type(message)]:
+            self._encode_value(getattr(message, name), buf)
+
+    def _encode_value(self, value: object, buf: bytearray) -> None:
+        # bool before int: bool is an int subclass.  Scalars are packed
+        # in place (append tag, extend a shared zero block, pack_into)
+        # rather than joined from per-field bytes objects.
         if value is None:
-            parts.append(b"N")
+            buf.append(0x4E)  # N
         elif value is True:
-            parts.append(b"T")
+            buf.append(0x54)  # T
         elif value is False:
-            parts.append(b"F")
+            buf.append(0x46)  # F
         elif isinstance(value, int) and not isinstance(value, Phase):
             if _I64_MIN <= value <= _I64_MAX:
-                parts.append(b"I")
-                parts.append(_I64.pack(value))
+                pos = len(buf)
+                buf.append(0x49)  # I
+                buf.extend(_ZERO8)
+                _I64.pack_into(buf, pos + 1, value)
             else:
                 raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
-                parts.append(b"J")
-                parts.append(_U32.pack(len(raw)))
-                parts.append(raw)
+                pos = len(buf)
+                buf.append(0x4A)  # J
+                buf.extend(_ZERO4)
+                _U32.pack_into(buf, pos + 1, len(raw))
+                buf.extend(raw)
         elif isinstance(value, float):
-            parts.append(b"D")
-            parts.append(_F64.pack(value))
+            pos = len(buf)
+            buf.append(0x44)  # D
+            buf.extend(_ZERO8)
+            _F64.pack_into(buf, pos + 1, value)
         elif isinstance(value, str):
             raw = value.encode("utf-8")
-            parts.append(b"S")
-            parts.append(_U32.pack(len(raw)))
-            parts.append(raw)
+            pos = len(buf)
+            buf.append(0x53)  # S
+            buf.extend(_ZERO4)
+            _U32.pack_into(buf, pos + 1, len(raw))
+            buf.extend(raw)
         elif isinstance(value, bytes):
-            parts.append(b"B")
-            parts.append(_U32.pack(len(value)))
-            parts.append(value)
+            pos = len(buf)
+            buf.append(0x42)  # B
+            buf.extend(_ZERO4)
+            _U32.pack_into(buf, pos + 1, len(value))
+            buf.extend(value)
         elif isinstance(value, tuple):
-            parts.append(b"U")
-            parts.append(_U32.pack(len(value)))
+            pos = len(buf)
+            buf.append(0x55)  # U
+            buf.extend(_ZERO4)
+            _U32.pack_into(buf, pos + 1, len(value))
             for item in value:
-                self._encode_value(item, parts)
+                self._encode_value(item, buf)
         elif isinstance(value, Phase):
-            parts.append(b"P")
-            parts.append(bytes((value.value,)))
+            buf.append(0x50)  # P
+            buf.append(value.value)
         elif type(value) in self._id_by_type:
-            parts.append(b"C")
-            parts.append(_U16.pack(self._id_by_type[type(value)]))
+            pos = len(buf)
+            buf.append(0x43)  # C
+            buf.extend(_ZERO2)
+            _U16.pack_into(buf, pos + 1, self._id_by_type[type(value)])
             for name in self._fields_by_type[type(value)]:
-                self._encode_value(getattr(value, name), parts)
+                self._encode_value(getattr(value, name), buf)
         else:
             raise CodecError(
                 f"value {value!r} of type {type(value).__name__} has no "
@@ -216,7 +269,7 @@ class WireCodec:
 
     # -- decoding -------------------------------------------------------------
 
-    def decode(self, body: bytes) -> object:
+    def decode(self, body: bytes | memoryview) -> object:
         """Decode one frame body back into its message object.
 
         Every failure mode is a :class:`CodecError` — including garbled
@@ -229,7 +282,7 @@ class WireCodec:
         except ValueError as exc:  # UnicodeDecodeError, Phase(...), ...
             raise CodecError(f"garbled frame payload: {exc}") from exc
 
-    def _decode_body(self, body: bytes) -> object:
+    def _decode_body(self, body: bytes | memoryview) -> object:
         reader = _Reader(body)
         header = reader.take(2)
         if header[0] != MAGIC:
@@ -259,35 +312,40 @@ class WireCodec:
         return cls(*values)
 
     def _decode_value(self, reader: _Reader) -> object:
-        tag = reader.take(1)
-        if tag == b"N":
+        # Tags compare by byte value so the reader can hand back either
+        # bytes or memoryview slices; str/bytes payloads materialize an
+        # owned object (the view dies when the frame buffer compacts).
+        tag = reader.take(1)[0]
+        if tag == 0x4E:  # N
             return None
-        if tag == b"T":
+        if tag == 0x54:  # T
             return True
-        if tag == b"F":
+        if tag == 0x46:  # F
             return False
-        if tag == b"I":
+        if tag == 0x49:  # I
             return _I64.unpack(reader.take(8))[0]
-        if tag == b"J":
+        if tag == 0x4A:  # J
             (length,) = _U32.unpack(reader.take(4))
             return int.from_bytes(reader.take(length), "big", signed=True)
-        if tag == b"D":
+        if tag == 0x44:  # D
             return _F64.unpack(reader.take(8))[0]
-        if tag == b"S":
+        if tag == 0x53:  # S
             (length,) = _U32.unpack(reader.take(4))
-            return reader.take(length).decode("utf-8")
-        if tag == b"B":
+            return str(reader.take(length), "utf-8")
+        if tag == 0x42:  # B
             (length,) = _U32.unpack(reader.take(4))
-            return reader.take(length)
-        if tag == b"U":
+            return bytes(reader.take(length))
+        if tag == 0x55:  # U
             (count,) = _U32.unpack(reader.take(4))
             return tuple(self._decode_value(reader) for _ in range(count))
-        if tag == b"P":
+        if tag == 0x50:  # P
             return Phase(reader.take(1)[0])
-        if tag == b"C":
+        if tag == 0x43:  # C
             (type_id,) = _U16.unpack(reader.take(2))
             return self._decode_struct(type_id, reader)
-        raise CodecError(f"unknown value tag {tag!r} at offset {reader.pos - 1}")
+        raise CodecError(
+            f"unknown value tag {bytes((tag,))!r} at offset {reader.pos - 1}"
+        )
 
 
 class FrameBuffer:
@@ -304,19 +362,39 @@ class FrameBuffer:
         self._buffer = bytearray()
 
     def feed(self, data: bytes) -> list[object]:
-        self._buffer.extend(data)
+        """Absorb ``data``; return every message completed by it.
+
+        Complete frame bodies are decoded through a zero-copy
+        ``memoryview`` into the reassembly buffer; the buffer is
+        compacted once per feed, after every view is released (a live
+        view would make the ``bytearray`` resize a ``BufferError``).
+        """
+        buf = self._buffer
+        buf.extend(data)
         messages: list[object] = []
-        while True:
-            if len(self._buffer) < 4:
-                return messages
-            (length,) = _U32.unpack(self._buffer[:4])
-            if length > MAX_FRAME:
-                raise CodecError(f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})")
-            if len(self._buffer) < 4 + length:
-                return messages
-            body = bytes(self._buffer[4 : 4 + length])
-            del self._buffer[: 4 + length]
-            messages.append(self._codec.decode(body))
+        pos = 0
+        available = len(buf)
+        view = memoryview(buf)
+        try:
+            while available - pos >= 4:
+                (length,) = _U32.unpack_from(buf, pos)
+                if length > MAX_FRAME:
+                    raise CodecError(
+                        f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+                    )
+                if available - pos < 4 + length:
+                    break
+                body = view[pos + 4 : pos + 4 + length]
+                try:
+                    messages.append(self._codec.decode(body))
+                finally:
+                    body.release()
+                pos += 4 + length
+        finally:
+            view.release()
+            if pos:
+                del buf[:pos]
+        return messages
 
 
 # -- net-layer control frames -------------------------------------------------
@@ -357,7 +435,14 @@ class CollectRequest:
 
 @dataclass(frozen=True)
 class CollectReply:
-    """A replica's end-of-run evidence (audit input) and counters."""
+    """A replica's end-of-run evidence (audit input) and counters.
+
+    ``frames_in`` counts physical frames received from peers;
+    ``messages_in`` counts the logical protocol messages inside them
+    (a :class:`~repro.multishot.messages.VoteBatch` is one frame, many
+    messages).  Their ratio is the wire-level batching factor the bench
+    layer reports as messages/frame.
+    """
 
     node_id: int
     chain: tuple  # tuple[Block, ...]
@@ -365,6 +450,8 @@ class CollectReply:
     applied_txids: tuple  # tuple[str, ...]
     blocks_applied: int
     txns_applied: int
+    frames_in: int = 0
+    messages_in: int = 0
 
 
 def wire_codec() -> WireCodec:
@@ -390,6 +477,7 @@ def wire_codec() -> WireCodec:
         MSSuggest,
         MSViewChange,
         MSVote,
+        VoteBatch,
     )
     from repro.smr.mempool import Transaction
 
@@ -417,6 +505,8 @@ def wire_codec() -> WireCodec:
     codec.register(50, MSViewChange)
     codec.register(51, MSSuggest)
     codec.register(52, MSProof)
+    # Aggregated vote frame: many multishot messages, one wire frame.
+    codec.register(53, VoteBatch)
     # Chained baseline engines (PBFT / IT-HotStuff / Li).
     codec.register(64, BProposal)
     codec.register(65, BPhaseVote)

@@ -37,7 +37,7 @@ from repro.net.codec import (
     FrameBuffer,
     StartRun,
 )
-from repro.net.transport import LinkLatency, NetContext, NetTransport
+from repro.net.transport import LinkLatency, NetContext, NetTransport, install_uvloop
 from repro.smr.engine import engine_factory
 from repro.smr.mempool import Transaction
 from repro.smr.replica import Replica
@@ -105,6 +105,8 @@ class ReplicaProcess:
         self.ctx = NetContext(spec.node_id, self.transport, spec.time_scale)
         self._started = False
         self._pre_start: list[tuple[int, object]] = []
+        self._frames_in = 0
+        self._messages_in = 0
         self._current_slot = 0
         self._clients: list[asyncio.StreamWriter] = []
         self._done = asyncio.Event()
@@ -113,6 +115,9 @@ class ReplicaProcess:
 
     def _on_peer_message(self, sender: int, message: object) -> None:
         """Peer traffic; buffered until the driver says StartRun."""
+        self._frames_in += 1
+        count_fn = getattr(message, "logical_count", None)
+        self._messages_in += 1 if count_fn is None else count_fn()
         if not self._started:
             self._pre_start.append((sender, message))
             return
@@ -145,6 +150,8 @@ class ReplicaProcess:
             applied_txids=tuple(replica.store.applied_txids),
             blocks_applied=self.trackers.throughput.blocks_applied(self.spec.node_id),
             txns_applied=self.trackers.throughput.txns_applied(self.spec.node_id),
+            frames_in=self._frames_in,
+            messages_in=self._messages_in,
         )
 
     # -- client server --------------------------------------------------------
@@ -199,6 +206,7 @@ def run_replica(spec: ReplicaSpec) -> None:
     # exception" warnings until the transport notices; the reconnect
     # machinery exists precisely to absorb those, so quiet them.
     logging.getLogger("asyncio").setLevel(logging.ERROR)
+    install_uvloop()
     asyncio.run(ReplicaProcess(spec).run())
 
 

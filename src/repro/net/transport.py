@@ -6,6 +6,10 @@ frames.  Design points, in the order they matter operationally:
 
 * **Per-peer outbound queues** — sends never block the protocol state
   machine; each peer has a queue drained by its own writer task.
+* **Coalesced writes** — each writer wakeup drains every already-due
+  frame in its queue into a single ``writev``-style buffer and hands
+  the socket one write, so a burst of aggregated vote frames costs one
+  syscall, not one per frame.
 * **Reconnect with backoff** — replicas start at different instants
   and may crash mid-run; a writer that cannot connect (or loses its
   connection) retries with exponential backoff while its queue keeps
@@ -39,6 +43,28 @@ from repro.net.codec import WIRE_CODEC, CodecError, FrameBuffer, Hello, WireCode
 from repro.sim.trace import Trace, TraceKind
 
 _LOG = logging.getLogger(__name__)
+
+
+def install_uvloop() -> bool:
+    """Switch asyncio to ``uvloop``'s event loop when it is installed.
+
+    ``uvloop`` is an *optional* extra (``pip install repro[uvloop]``);
+    the deployment subsystem must run identically without it, so a
+    missing module is the documented fallback, not an error.  Returns
+    ``True`` when uvloop's policy is now active, ``False`` when stock
+    asyncio remains in charge.  Set ``REPRO_NO_UVLOOP=1`` to force the
+    stock loop even where uvloop is available (A/B timing runs).
+    """
+    import os
+
+    if os.environ.get("REPRO_NO_UVLOOP", "").lower() in ("1", "true", "yes"):
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
 
 #: Reconnect backoff: first retry after INITIAL, doubling to CAP.
 BACKOFF_INITIAL = 0.05
@@ -208,6 +234,7 @@ class NetTransport:
                 # keep escalating the backoff, not spin at full speed.
                 backoff = BACKOFF_INITIAL
                 loop = asyncio.get_event_loop()
+                queue = lane.queue
                 while True:
                     if pending is None:
                         pending = await lane.queue.get()
@@ -218,8 +245,24 @@ class NetTransport:
                             await asyncio.sleep(wait)
                     if writer.is_closing():
                         break  # peer went away: keep the frame, reconnect
-                    writer.write(frame)
+                    # Coalesce every other already-due frame into the
+                    # same write: one writev-style buffer per wakeup
+                    # instead of one write per frame.  The first
+                    # not-yet-due frame stays pending for the next
+                    # wakeup, so injected latency is still a FIFO pipe.
                     pending = None
+                    if queue.empty():
+                        writer.write(frame)
+                    else:
+                        batch = bytearray(frame)
+                        due_before = loop.time() - latency
+                        while not queue.empty():
+                            nxt = queue.get_nowait()
+                            if latency > 0 and nxt[0] > due_before:
+                                pending = nxt
+                                break
+                            batch.extend(nxt[1])
+                        writer.write(batch)
                     if writer.transport.get_write_buffer_size() > 1 << 20:
                         await writer.drain()
             except (OSError, ConnectionError):

@@ -57,10 +57,25 @@ from repro.baselines.li import LI_SPEC
 from repro.baselines.pbft import PBFT_BOUNDED_SPEC
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigurationError
+from repro.multishot.batching import BatchingContext, batching_enabled, iter_logical
 from repro.multishot.block import Block, BlockStore
+from repro.multishot.messages import VoteBatch
 from repro.multishot.node import FinalizeCallback, MultiShotConfig, MultiShotNode, PayloadFn
 from repro.quorums.system import NodeId
 from repro.sim.runner import NodeContext
+
+__all__ = [
+    "BatchingContext",
+    "ConsensusEngine",
+    "ENGINE_NAMES",
+    "EngineFactory",
+    "VoteBatch",
+    "batching_enabled",
+    "chained_engine",
+    "engine_factory",
+    "iter_logical",
+    "multishot_engine",
+]
 
 
 @runtime_checkable
@@ -99,19 +114,22 @@ _CHAINED_SPECS: dict[str, BaselineSpec] = {
 }
 
 
-def multishot_engine(config: MultiShotConfig) -> EngineFactory:
+def multishot_engine(config: MultiShotConfig, batching: bool | None = None) -> EngineFactory:
     """Factory for the reference engine: pipelined Multi-shot TetraBFT.
 
     Wires :class:`MultiShotNode` precisely as
     :class:`~repro.smr.replica.Replica` historically did inline, which
     is what keeps the refactored path byte-identical to the pre-engine
-    wiring.
+    wiring.  ``batching`` overrides the message-plane default (``None``
+    consults the ``REPRO_NO_BATCH`` escape hatch).
     """
 
     def build(
         node_id: NodeId, payload_fn: PayloadFn, on_finalize: FinalizeCallback
     ) -> ConsensusEngine:
-        return MultiShotNode(node_id, config, payload_fn=payload_fn, on_finalize=on_finalize)
+        return MultiShotNode(
+            node_id, config, payload_fn=payload_fn, on_finalize=on_finalize, batching=batching
+        )
 
     return build
 
@@ -120,6 +138,7 @@ def chained_engine(
     spec: BaselineSpec,
     base: ProtocolConfig,
     max_slots: int | None = None,
+    batching: bool | None = None,
 ) -> EngineFactory:
     """Factory for a Table 1 baseline run as a multi-slot chained engine."""
     from repro.baselines.chained import ChainedEngine
@@ -134,6 +153,7 @@ def chained_engine(
             payload_fn=payload_fn,
             on_finalize=on_finalize,
             max_slots=max_slots,
+            batching=batching,
         )
 
     return build
@@ -143,13 +163,15 @@ def engine_factory(
     name: str,
     base: ProtocolConfig,
     max_slots: int | None = None,
+    batching: bool | None = None,
 ) -> EngineFactory:
     """The named engine over ``base`` — the registry behind ``repro engines``.
 
     ``max_slots`` bounds how far leaders extend the chain; ``None``
     leaves chained baselines unbounded (their slots finalize eagerly,
     so runs are bounded by the workload and horizon instead) and gives
-    TetraBFT its default finite budget.
+    TetraBFT its default finite budget.  ``batching`` overrides the
+    message-plane default for A/B runs (``None`` → ``REPRO_NO_BATCH``).
     """
     if name == "tetrabft":
         config = (
@@ -157,10 +179,10 @@ def engine_factory(
             if max_slots is None
             else MultiShotConfig(base=base, max_slots=max_slots)
         )
-        return multishot_engine(config)
+        return multishot_engine(config, batching=batching)
     spec = _CHAINED_SPECS.get(name)
     if spec is None:
         raise ConfigurationError(
             f"unknown consensus engine {name!r}; known: {', '.join(ENGINE_NAMES)}"
         )
-    return chained_engine(spec, base, max_slots=max_slots)
+    return chained_engine(spec, base, max_slots=max_slots, batching=batching)

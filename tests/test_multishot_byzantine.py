@@ -21,6 +21,7 @@ from repro.multishot import (
     MSVote,
     MultiShotConfig,
     MultiShotNode,
+    iter_logical,
 )
 from repro.quorums.system import NodeId
 from repro.sim import (
@@ -73,21 +74,24 @@ class EquivocatingBlockProposer(SimNode):
         for dst in half_b:
             self._ctx.send(dst, MSProposal(slot, view, fork_b))
 
-    def receive(self, sender: NodeId, message: object) -> None:
+    def receive(self, sender: NodeId, frame: object) -> None:
         if self._ctx is None:
             return
-        if isinstance(message, MSProposal):
-            # Track lineage so later equivocations extend something real.
-            self._parents[message.slot] = message.block.digest
-            self._maybe_equivocate(message.slot + 1, message.view, message.block.digest)
-        elif isinstance(message, MSVote):
-            # Double-vote: echo the vote back to everyone (it is for
-            # whichever fork the sender saw; we endorse both).
-            self._ctx.broadcast(MSVote(message.slot, message.view, message.digest))
-        elif isinstance(message, MSViewChange):
-            self._ctx.broadcast(message)
-            parent = self._parents.get(message.slot - 1, GENESIS_DIGEST)
-            self._maybe_equivocate(message.slot, message.view, parent)
+        # Honest peers batch broadcasts into VoteBatch frames; a real
+        # adversary unwraps envelopes like any other receiver.
+        for message in iter_logical(frame):
+            if isinstance(message, MSProposal):
+                # Track lineage so later equivocations extend something real.
+                self._parents[message.slot] = message.block.digest
+                self._maybe_equivocate(message.slot + 1, message.view, message.block.digest)
+            elif isinstance(message, MSVote):
+                # Double-vote: echo the vote back to everyone (it is for
+                # whichever fork the sender saw; we endorse both).
+                self._ctx.broadcast(MSVote(message.slot, message.view, message.digest))
+            elif isinstance(message, MSViewChange):
+                self._ctx.broadcast(message)
+                parent = self._parents.get(message.slot - 1, GENESIS_DIGEST)
+                self._maybe_equivocate(message.slot, message.view, parent)
 
 
 class TestBlockEquivocation:
@@ -141,9 +145,10 @@ class ChainChaosMonkey(SimNode):
         self._ctx = ctx
         ctx.set_timer(1.0, self._tick)
 
-    def receive(self, sender: NodeId, message: object) -> None:
-        if isinstance(message, MSProposal):
-            self._digests.append(message.block.digest)
+    def receive(self, sender: NodeId, frame: object) -> None:
+        for message in iter_logical(frame):
+            if isinstance(message, MSProposal):
+                self._digests.append(message.block.digest)
 
     def _tick(self) -> None:
         if self._ctx is None or self._ctx.now > 120:

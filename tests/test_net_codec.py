@@ -41,6 +41,7 @@ from repro.multishot.messages import (
     MSSuggest,
     MSViewChange,
     MSVote,
+    VoteBatch,
 )
 from repro.net.codec import (
     MAGIC,
@@ -92,6 +93,16 @@ def _block(rng: random.Random) -> Block:
     )
 
 
+def _vote_batch(rng: random.Random) -> VoteBatch:
+    """An aggregated frame over the multishot generators (2..8 items)."""
+    inner = [
+        lambda r: MSVote(r.randrange(1, 200), r.randrange(0, 20), f"{r.randrange(1 << 60):016x}"),
+        lambda r: MSProposal(r.randrange(1, 200), r.randrange(0, 20), _block(r)),
+        lambda r: MSViewChange(r.randrange(1, 200), r.randrange(0, 20)),
+    ]
+    return VoteBatch(tuple(rng.choice(inner)(rng) for _ in range(rng.randrange(2, 9))))
+
+
 GENERATORS = {
     Hello: lambda rng: Hello(rng.randrange(0, 128)),
     ClientSubmit: lambda rng: ClientSubmit(_txn(rng)),
@@ -107,6 +118,8 @@ GENERATORS = {
         applied_txids=tuple(f"tx-{k}" for k in range(rng.randrange(0, 6))),
         blocks_applied=rng.randrange(0, 100),
         txns_applied=rng.randrange(0, 1000),
+        frames_in=rng.randrange(0, 5000),
+        messages_in=rng.randrange(0, 20000),
     ),
     VoteRecord: _vote_record,
     Block: _block,
@@ -153,6 +166,7 @@ GENERATORS = {
         prev_vote1=_vote_record(rng),
         vote4=_vote_record(rng),
     ),
+    VoteBatch: _vote_batch,
     BProposal: lambda rng: BProposal(
         protocol=rng.choice(["pbft", "it-hs", "li"]),
         view=rng.randrange(0, 20),
@@ -223,11 +237,19 @@ def test_encoding_is_deterministic_across_codec_instances():
 
 
 def test_golden_frame_pins_the_wire_format():
-    """v1 bytes are a contract: changing them must bump WIRE_VERSION."""
-    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7010024490000000000000007"
+    """v2 bytes are a contract: changing them must bump WIRE_VERSION."""
+    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7020024490000000000000007"
     assert (
         WIRE_CODEC.encode_frame(MSVote(3, 1, "abcd")).hex()
-        == "0000001fb7010031490000000000000003490000000000000001530000000461626364"
+        == "0000001fb7020031490000000000000003490000000000000001530000000461626364"
+    )
+    # Aggregated frame: one envelope, two nested (C-tagged) messages.
+    assert WIRE_CODEC.encode_frame(
+        VoteBatch((MSVote(3, 1, "abcd"), MSViewChange(4, 2)))
+    ).hex() == (
+        "0000003cb70200355500000002"
+        "430031490000000000000003490000000000000001530000000461626364"
+        "430032490000000000000004490000000000000002"
     )
 
 

@@ -17,8 +17,9 @@ import pytest
 
 from repro.core.messages import Proposal, ViewChange
 from repro.errors import ConfigurationError
+from repro.multishot.messages import MSVote, VoteBatch
 from repro.net.cluster import allocate_ports
-from repro.net.transport import LinkLatency, NetContext, NetTransport
+from repro.net.transport import LinkLatency, NetContext, NetTransport, install_uvloop
 
 HOST = "127.0.0.1"
 
@@ -134,6 +135,70 @@ def test_loopback_send_to_self():
 
     asyncio.run(scenario())
     assert inboxes[0] == [(0, ViewChange(3))]
+
+
+def test_vote_batch_frames_cross_the_socket_as_one_unit():
+    """An aggregated frame arrives as a single envelope, not unpacked
+    by the transport: unbatching is the receiving engine's job."""
+    inboxes = {0: [], 1: []}
+    ports = allocate_ports(2)
+    batch = VoteBatch((MSVote(1, 0, "aa"), MSVote(2, 0, "bb"), MSVote(3, 0, "cc")))
+
+    async def scenario():
+        a, b = _pair(ports, inboxes)
+        await a.start()
+        await b.start()
+        try:
+            # A burst queued before/while the lane connects exercises
+            # the coalesced (writev-style) drain path on the writer.
+            for _ in range(4):
+                a.send(1, batch)
+            await _wait_for(lambda: len(inboxes[1]) == 4)
+        finally:
+            await a.stop()
+            await b.stop()
+
+    asyncio.run(scenario())
+    assert inboxes[1] == [(0, batch)] * 4
+
+
+def test_install_uvloop_falls_back_without_the_module(monkeypatch):
+    """uvloop is an optional extra: absence means stock asyncio, not
+    an error — and the loop still runs."""
+    import sys
+
+    monkeypatch.setitem(sys.modules, "uvloop", None)  # import raises ImportError
+    monkeypatch.delenv("REPRO_NO_UVLOOP", raising=False)
+    assert install_uvloop() is False
+    assert asyncio.run(_async_identity(42)) == 42
+
+
+def test_install_uvloop_activates_when_available(monkeypatch):
+    import sys
+    import types
+
+    calls: list[str] = []
+    fake = types.ModuleType("uvloop")
+    fake.install = lambda: calls.append("install")
+    monkeypatch.setitem(sys.modules, "uvloop", fake)
+    monkeypatch.delenv("REPRO_NO_UVLOOP", raising=False)
+    assert install_uvloop() is True
+    assert calls == ["install"]
+
+
+def test_install_uvloop_escape_hatch_forces_stock_asyncio(monkeypatch):
+    import sys
+    import types
+
+    fake = types.ModuleType("uvloop")
+    fake.install = lambda: pytest.fail("REPRO_NO_UVLOOP must skip uvloop.install()")
+    monkeypatch.setitem(sys.modules, "uvloop", fake)
+    monkeypatch.setenv("REPRO_NO_UVLOOP", "1")
+    assert install_uvloop() is False
+
+
+async def _async_identity(value):
+    return value
 
 
 def test_link_latency_validation_and_pairs():

@@ -169,6 +169,11 @@ class TestSMRTrackers:
         assert tracker.peak_mempool([0, 1]) == 55
         assert tracker.peak_mempool([0]) == 40
         assert tracker.last_commit_time == 6.0
+        # Empty blocks count toward blocks but never move the commit
+        # clock — trailing no-op slots must not stretch the duration.
+        tracker.record_block(1, 2, 0, 0, 9.0)
+        assert tracker.last_commit_time == 6.0
+        assert tracker.min_blocks_applied([0, 1]) == 2
         assert tracker.min_txns_applied([]) == 0
 
     def test_submit_side_mempool_samples_raise_the_peak(self):
