@@ -67,16 +67,25 @@ GATED_GRIDS: tuple[tuple[str, str, tuple[str, ...], str], ...] = (
         "txns_per_sec",
     ),
     ("net", "net_smoke", ("engine", "workload", "scenario", "n"), "txns_per_sec"),
+    # Gateway levels gate on paced throughput: only unsaturated rows
+    # carry ``paced_tps`` (the arrival process pins it to the offered
+    # rate), so the noisy capacity probes drop out of the gate.
+    ("gateway", "gateway_smoke", ("engine", "n", "offered"), "paced_tps"),
 )
 
 #: Every BENCH file stem the gate reads.
-BENCH_STEMS = ("scaling", "smr", "net")
+BENCH_STEMS = ("scaling", "smr", "net", "gateway")
 
 #: Aggregate hot-path records: file stem → (record key, rate metric).
 #: Dict-shaped, measured over large runs — always gated.
 GATED_AGGREGATES: tuple[tuple[str, str], ...] = (
     ("scaling", "event_core_2x"),
     ("smr", "smr_hot_path_2x"),
+    # The gateway's saturation point: the first offered rate of the
+    # ramp whose level fell under 80% goodput.  The ramp levels bracket
+    # capacity with wide margins, so this is deterministic per ramp
+    # shape — a drop means the gateway lost a whole capacity tier.
+    ("gateway", "gateway_saturation"),
 )
 
 #: Ceiling-gated cells: simulated-time message-plane rates (messages/Δ
@@ -99,9 +108,18 @@ GATED_CEILINGS: tuple[tuple[str, str, tuple[str, ...], str], ...] = (
         ("engine", "workload", "scenario", "n"),
         "frames_per_delay",
     ),
+    # Gateway commit latency on the *paced* (unsaturated) levels: the
+    # consensus pipeline sets these, not host load, so p50/p99 must
+    # not grow past the threshold.
+    ("gateway", "gateway_smoke", ("engine", "n", "offered"), "paced_p50_ms"),
+    ("gateway", "gateway_smoke", ("engine", "n", "offered"), "paced_p99_ms"),
 )
 
-_AGGREGATE_METRICS = {"event_core_2x": "events_per_sec", "smr_hot_path_2x": "txns_per_sec"}
+_AGGREGATE_METRICS = {
+    "event_core_2x": "events_per_sec",
+    "smr_hot_path_2x": "txns_per_sec",
+    "gateway_saturation": "saturation_offered",
+}
 
 
 def load_records(path: Path) -> dict:

@@ -35,6 +35,16 @@ and a post-run safety audit of the collected chains and state digests
 crash scenarios); ``REPRO_HEAVY=1`` adds n=7, the geo latency matrix,
 and the chained baseline engines.
 
+``gateway`` is the client-plane experiment: the layered gateway
+service (HTTP/WebSocket handlers → admission/batching/subscription
+session service → the shared replica connection pool) deployed in
+front of a real cluster and driven *open-loop* — seeded Poisson
+arrivals at a ramp of offered rates from hundreds of logical clients,
+reporting gateway-observed commit latency percentiles and the
+saturation point, with every run's collected chains replayed through
+the SafetyAuditor (``BENCH_gateway.json``).  ``REPRO_HEAVY=1`` widens
+the ramp to n ∈ {4, 7} with 2000 clients.
+
 Exit status: 0 on success (including ``-h``/``--help``), 1 on bad
 usage or an unknown experiment name.
 """
@@ -44,9 +54,9 @@ from __future__ import annotations
 import sys
 
 from repro.eval import attacks, engine_matrix, fig1_lemmas, fig2_pipeline
-from repro.eval import fig3_viewchange, hardening_ablation, net_bench
-from repro.eval import responsiveness, scaling, smr_bench, table1
-from repro.eval import timeout_ablation, verification_run
+from repro.eval import fig3_viewchange, gateway_bench, hardening_ablation
+from repro.eval import net_bench, responsiveness, scaling, smr_bench
+from repro.eval import table1, timeout_ablation, verification_run
 
 EXPERIMENTS = {
     "table1": (table1.main, "Table 1 — protocol comparison"),
@@ -62,6 +72,7 @@ EXPERIMENTS = {
     "engines": (engine_matrix.main, "A5 — cross-engine SMR matrix"),
     "attacks": (attacks.main, "A6 — Byzantine campaign over the engines"),
     "net": (net_bench.main, "A7 — deployed clusters over TCP"),
+    "gateway": (gateway_bench.main, "A8 — client gateway under open-loop load"),
 }
 
 

@@ -20,6 +20,11 @@ from repro.eval.engine_matrix import (
     run_engine_smoke,
 )
 from repro.eval.fig1_lemmas import LemmaChainResult, run_lemma_chain
+from repro.eval.gateway_bench import (
+    GatewayCellResult,
+    GatewayRow,
+    run_gateway_cell,
+)
 from repro.eval.net_bench import (
     NetRow,
     run_net_batching_ablation,
@@ -39,6 +44,8 @@ from repro.eval.verification_run import VerificationSummary, run_verification
 __all__ = [
     "AttackRow",
     "CampaignRunner",
+    "GatewayCellResult",
+    "GatewayRow",
     "LemmaChainResult",
     "NetRow",
     "PROTOCOLS",
@@ -57,6 +64,7 @@ __all__ = [
     "run_batching_ablation",
     "run_engine_matrix",
     "run_engine_smoke",
+    "run_gateway_cell",
     "run_lemma_chain",
     "run_net_cell",
     "run_net_batching_ablation",

@@ -1,0 +1,440 @@
+"""Gateway session service — the layer between API handlers and replicas.
+
+The service owns everything stateful about serving clients:
+
+* **submission** — admission control and per-client token buckets
+  (:mod:`repro.gateway.ratelimit`), then server-side batching: client
+  submissions accumulate for a short window (or until ``max_batch``)
+  and travel to every replica as one ``ClientSubmitBatch`` frame —
+  the client-plane sibling of the message plane's VoteBatch discipline
+  (a singleton flush degenerates to the bare ``ClientSubmit``);
+* **commit tracking** — commit acks from all replicas are correlated
+  through the shared :class:`~repro.net.client.AckCorrelator`; a
+  transaction is *committed* once ``ack_quorum`` = f+1 distinct
+  replicas acked it (at least one honest replica executed it), which
+  stamps the gateway-level latency sample and fans a commit event out
+  to every WebSocket subscriber;
+* **subscriptions** — bounded per-subscriber queues with slow-consumer
+  eviction: a subscriber that cannot drain its queue is cut loose
+  (with a final eviction notice) rather than allowed to grow gateway
+  memory without bound;
+* **reads** — executed state and chain history served from replica
+  ``SnapshotRequest`` replies, *without touching consensus*: the
+  service keeps the freshest snapshot per replica, picks the digest
+  supported by the most replicas (ties to the longest chain), and
+  replays it once into a :class:`~repro.smr.kvstore.KVStore` that
+  point-reads are answered from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.gateway.ratelimit import AdmissionController
+from repro.metrics.smr_trackers import nearest_rank_percentiles
+from repro.net.client import AckCorrelator, ReplicaPool
+from repro.net.codec import CollectReply, CommitAck
+from repro.smr.mempool import Transaction
+from repro.verification.audit import replay_chain
+
+#: Queue sentinel delivered to a subscriber that fell too far behind.
+EVICTED = object()
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of one gateway instance."""
+
+    #: Replica count of the cluster behind the gateway (quorum math).
+    n: int
+    #: Distinct clients the gateway will hold state for.
+    max_clients: int = 4096
+    #: Submitted-but-uncommitted cap per client.
+    max_inflight_per_client: int = 512
+    #: Token-bucket refill rate per client, transactions/second.
+    rate: float = 200.0
+    #: Token-bucket burst capacity per client.
+    burst: float = 50.0
+    #: Seconds a submission may wait for batch-mates before flushing.
+    batch_window: float = 0.005
+    #: Flush immediately once this many submissions are buffered.
+    max_batch: int = 64
+    #: Per-subscriber event queue depth before eviction.
+    subscriber_queue: int = 256
+    #: Seconds between background snapshot refreshes (0 = on demand).
+    snapshot_interval: float = 0.5
+
+    @property
+    def ack_quorum(self) -> int:
+        """f+1: at least one honest replica executed the transaction."""
+        return (self.n - 1) // 3 + 1
+
+
+@dataclass
+class TxnStatus:
+    """Gateway-side lifecycle of one submitted transaction."""
+
+    txid: str
+    client_id: str
+    submitted_at: float
+    acks: set[int] = field(default_factory=set)
+    slot: int | None = None
+    committed_at: float | None = None
+
+    @property
+    def committed(self) -> bool:
+        return self.committed_at is not None
+
+    @property
+    def latency(self) -> float | None:
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+
+class Subscription:
+    """One commit-event subscriber with a bounded queue.
+
+    ``deliver`` never blocks: a full queue marks the subscriber evicted
+    and replaces its oldest undelivered event with the :data:`EVICTED`
+    sentinel, so the consumer always learns *why* its stream ended.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize)
+        self.evicted = False
+        self.closed = False
+
+    def deliver(self, event: object) -> bool:
+        if self.evicted or self.closed:
+            return False
+        try:
+            self.queue.put_nowait(event)
+            return True
+        except asyncio.QueueFull:
+            self.evicted = True
+            try:
+                self.queue.get_nowait()
+            except asyncio.QueueEmpty:  # pragma: no cover - maxsize > 0
+                pass
+            self.queue.put_nowait(EVICTED)
+            return False
+
+    async def next_event(self) -> object:
+        """The next event, or :data:`EVICTED` once the queue overflowed."""
+        return await self.queue.get()
+
+
+@dataclass(frozen=True)
+class StateView:
+    """One answered read: where the value came from."""
+
+    value: object
+    found: bool
+    tip_slot: int
+    chain_length: int
+    supported_by: int
+    replica: int
+
+
+class GatewayService:
+    """Session service over a :class:`~repro.net.client.ReplicaPool`."""
+
+    def __init__(self, pool: ReplicaPool, config: GatewayConfig, clock=time.monotonic) -> None:
+        self.pool = pool
+        self.config = config
+        self._clock = clock
+        self.admission = AdmissionController(
+            max_clients=config.max_clients,
+            max_inflight_per_client=config.max_inflight_per_client,
+            rate=config.rate,
+            burst=config.burst,
+            clock=clock,
+        )
+        self.correlator = AckCorrelator()
+        self.correlator.track_nodes(pool.live)
+        self.txns: dict[str, TxnStatus] = {}
+        self.subscriptions: list[Subscription] = []
+        self._buffer: list[Transaction] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._snapshot_task: asyncio.Task | None = None
+        self._snapshots: dict[int, CollectReply] = {}
+        self._chosen: CollectReply | None = None
+        self._chosen_support = 0
+        self._replay_cache_key: tuple[str, int] | None = None
+        self._replay_store = None
+        self.started_at: float | None = None
+        # Monotonic counters the metrics endpoint reports.
+        self.counters = {
+            "submitted": 0,
+            "committed": 0,
+            "rejected_rate": 0,
+            "rejected_admission": 0,
+            "duplicates": 0,
+            "flushes": 0,
+            "flushed_txns": 0,
+            "events_delivered": 0,
+            "subscribers_evicted": 0,
+            "snapshot_refreshes": 0,
+        }
+        pool.on_ack = self._on_ack
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self, *, start_consensus: bool = True) -> None:
+        """Bind to the running loop; optionally start the cluster."""
+        self._loop = asyncio.get_running_loop()
+        self.started_at = self._clock()
+        if start_consensus:
+            self.pool.start_run()
+        if self.config.snapshot_interval > 0:
+            self._snapshot_task = asyncio.ensure_future(self._snapshot_loop())
+
+    async def stop(self) -> None:
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            self._snapshot_task = None
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        self._flush()
+        for sub in self.subscriptions:
+            sub.closed = True
+
+    # -- submission path ------------------------------------------------------
+
+    def submit(self, client_id: str, txn: Transaction) -> TxnStatus:
+        """Admit, rate-limit, dedup, and batch one client submission.
+
+        Raises :class:`~repro.gateway.ratelimit.AdmissionDenied`,
+        :class:`~repro.gateway.ratelimit.RateLimited`, or
+        :class:`DuplicateTransaction`; on success the transaction is
+        queued for the next batch flush and its status is tracked until
+        quorum commit.
+        """
+        if txn.txid in self.txns:
+            self.counters["duplicates"] += 1
+            raise DuplicateTransaction(f"transaction {txn.txid!r} was already submitted")
+        state = self.admission.check_submit(client_id)
+        now = self._clock()
+        status = TxnStatus(txid=txn.txid, client_id=client_id, submitted_at=now)
+        self.txns[txn.txid] = status
+        self.correlator.record_submit(txn.txid, now)
+        state.inflight += 1
+        state.submitted += 1
+        state.txids.add(txn.txid)
+        self.counters["submitted"] += 1
+        self._buffer.append(txn)
+        if len(self._buffer) >= self.config.max_batch:
+            self._flush()
+        elif self._flush_handle is None and self._loop is not None:
+            self._flush_handle = self._loop.call_later(self.config.batch_window, self._flush)
+        return status
+
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self.pool.submit_many(batch)
+        self.counters["flushes"] += 1
+        self.counters["flushed_txns"] += len(batch)
+
+    # -- commit path ----------------------------------------------------------
+
+    def _on_ack(self, node_id: int, ack: CommitAck) -> None:
+        now = self._clock()
+        if self.correlator.record_ack(node_id, ack, now) is None:
+            return
+        status = self.txns.get(ack.txid)
+        if status is None:  # pragma: no cover - correlator already filters
+            return
+        status.acks.add(node_id)
+        if status.slot is None:
+            status.slot = ack.slot
+        if not status.committed and len(status.acks) >= self.config.ack_quorum:
+            status.committed_at = now
+            self.counters["committed"] += 1
+            client = self.admission.clients.get(status.client_id)
+            if client is not None and client.inflight > 0:
+                client.inflight -= 1
+            self._publish(
+                {
+                    "type": "commit",
+                    "txid": status.txid,
+                    "slot": status.slot,
+                    "acks": len(status.acks),
+                    "latency_ms": (now - status.submitted_at) * 1000.0,
+                }
+            )
+
+    # -- subscriptions --------------------------------------------------------
+
+    def subscribe(self) -> Subscription:
+        sub = Subscription(self.config.subscriber_queue)
+        self.subscriptions.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        sub.closed = True
+        if sub in self.subscriptions:
+            self.subscriptions.remove(sub)
+
+    def _publish(self, event: dict) -> None:
+        evicted = [sub for sub in self.subscriptions if not sub.deliver(event)]
+        for sub in evicted:
+            if sub.evicted:
+                self.counters["subscribers_evicted"] += 1
+            self.subscriptions.remove(sub)
+        self.counters["events_delivered"] += len(self.subscriptions)
+
+    # -- read path ------------------------------------------------------------
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.snapshot_interval)
+            try:
+                await self.refresh_snapshots()
+            except (OSError, ConnectionError):  # pragma: no cover - replica churn
+                continue
+
+    async def refresh_snapshots(self, timeout: float | None = None) -> int:
+        """Pull a fresh snapshot from every live replica; returns the
+        support count of the chosen snapshot."""
+        replies = await self.pool.snapshot(timeout)
+        self._snapshots.update(replies)
+        self.counters["snapshot_refreshes"] += 1
+        return self._choose_snapshot()
+
+    def ingest_snapshots(self, replies: dict[int, CollectReply]) -> int:
+        """Feed externally collected snapshots (tests, offline replay)."""
+        self._snapshots.update(replies)
+        return self._choose_snapshot()
+
+    def _choose_snapshot(self) -> int:
+        """Pick the snapshot whose state digest has the widest replica
+        support; ties break to the longer chain.  With at least f+1
+        supporters the digest is vouched for by an honest replica."""
+        if not self._snapshots:
+            return 0
+        support: dict[tuple[str, int], list[CollectReply]] = {}
+        for reply in self._snapshots.values():
+            support.setdefault((reply.state_digest, len(reply.chain)), []).append(reply)
+        (digest, _length), group = max(
+            support.items(), key=lambda item: (len(item[1]), item[0][1])
+        )
+        self._chosen = group[0]
+        self._chosen_support = len(group)
+        key = (digest, len(self._chosen.chain))
+        if key != self._replay_cache_key:
+            self._replay_store = replay_chain(tuple(self._chosen.chain))
+            self._replay_cache_key = key
+        return self._chosen_support
+
+    @property
+    def has_snapshot(self) -> bool:
+        return self._chosen is not None
+
+    def read_state(self, key: str) -> StateView:
+        """Point-read from the replayed majority snapshot."""
+        if self._chosen is None or self._replay_store is None:
+            raise SnapshotUnavailable("no replica snapshot ingested yet")
+        missing = object()
+        value = self._replay_store.get(key, missing)
+        chain = self._chosen.chain
+        return StateView(
+            value=None if value is missing else value,
+            found=value is not missing,
+            tip_slot=chain[-1].slot if chain else 0,
+            chain_length=len(chain),
+            supported_by=self._chosen_support,
+            replica=self._chosen.node_id,
+        )
+
+    def chain_history(self, start: int = 0, limit: int = 50) -> dict:
+        """Finalized chain summary from the majority snapshot."""
+        if self._chosen is None:
+            raise SnapshotUnavailable("no replica snapshot ingested yet")
+        chain = self._chosen.chain
+        blocks = []
+        for block in chain:
+            if block.slot < start:
+                continue
+            if len(blocks) >= limit:
+                break
+            payload = block.payload if isinstance(block.payload, tuple) else ()
+            blocks.append(
+                {
+                    "slot": block.slot,
+                    "digest": block.digest,
+                    "parent": block.parent,
+                    "txids": [txn.txid for txn in payload if isinstance(txn, Transaction)],
+                }
+            )
+        return {
+            "height": len(chain),
+            "tip": chain[-1].digest if chain else None,
+            "supported_by": self._chosen_support,
+            "blocks": blocks,
+        }
+
+    # -- introspection --------------------------------------------------------
+
+    def txn_view(self, txid: str) -> dict | None:
+        status = self.txns.get(txid)
+        if status is None:
+            return None
+        latency = status.latency
+        return {
+            "txid": status.txid,
+            "status": "committed" if status.committed else "pending",
+            "acks": len(status.acks),
+            "quorum": self.config.ack_quorum,
+            "slot": status.slot,
+            "latency_ms": None if latency is None else latency * 1000.0,
+        }
+
+    def latency_percentiles(self) -> dict[int, float]:
+        """Gateway-level commit latency (submit → quorum ack), ms."""
+        samples = [
+            status.latency for status in self.txns.values() if status.latency is not None
+        ]
+        return {p: v * 1000.0 for p, v in nearest_rank_percentiles(samples).items()}
+
+    def metrics(self) -> dict:
+        pending = self.counters["submitted"] - self.counters["committed"]
+        return {
+            **self.counters,
+            "pending": pending,
+            "clients": len(self.admission.clients),
+            "subscribers": len(self.subscriptions),
+            "replicas_live": len(self.pool.live),
+            "latency_ms": {str(p): v for p, v in self.latency_percentiles().items()},
+            "uptime_seconds": 0.0
+            if self.started_at is None
+            else self._clock() - self.started_at,
+        }
+
+    def health(self) -> dict:
+        live = len(self.pool.live)
+        quorum_alive = live >= self.config.ack_quorum
+        return {
+            "status": "ok" if quorum_alive else "degraded",
+            "replicas_live": live,
+            "replicas_total": self.config.n,
+            "ack_quorum": self.config.ack_quorum,
+            "has_snapshot": self.has_snapshot,
+        }
+
+
+class DuplicateTransaction(Exception):
+    """A txid the gateway already tracks was submitted again."""
+
+
+class SnapshotUnavailable(Exception):
+    """The read path has no replica snapshot to serve from yet."""

@@ -13,6 +13,10 @@ points at:
 * :mod:`repro.net.transport` — an asyncio TCP transport speaking that
   framing, with per-peer outbound queues, reconnect-with-backoff and
   optional injected link latency so the geo scenarios carry over;
+* :mod:`repro.net.client` — the client-side repository layer: a
+  replica-connection pool with commit-ack correlation, the snapshot
+  read path, and ``time_scale``-derived timeouts, shared by the A7
+  bench driver and the gateway service;
 * :mod:`repro.net.cluster` — a multiprocess cluster launcher/driver:
   one OS process per replica (any registered engine), a TCP client
   port per replica for transaction submission, commit acknowledgements
@@ -32,6 +36,7 @@ from repro.net.codec import (
     WireCodec,
     wire_codec,
 )
+from repro.net.client import AckCorrelator, ReplicaPool, scaled_timeout
 from repro.net.cluster import ClusterConfig, NetRunResult, run_cluster_workload
 from repro.net.transport import NetContext, NetTransport
 
@@ -41,6 +46,9 @@ __all__ = [
     "FrameBuffer",
     "WireCodec",
     "wire_codec",
+    "AckCorrelator",
+    "ReplicaPool",
+    "scaled_timeout",
     "ClusterConfig",
     "NetRunResult",
     "run_cluster_workload",

@@ -1,0 +1,335 @@
+"""Client-side replica connection pool — the repository layer.
+
+Everything that talks to a replica's *client* TCP port lives here:
+connect-with-retry, frame encode/decode, commit-ack correlation, and
+the CollectReply request/response dance.  Two very different consumers
+share it —
+
+* the A7 bench driver (:mod:`repro.net.cluster`), which submits a
+  pre-timestamped schedule and collects end-of-run evidence; and
+* the client gateway (:mod:`repro.gateway`), which serves live HTTP/
+  WebSocket traffic and additionally uses the non-terminating
+  :class:`~repro.net.codec.SnapshotRequest` read path.
+
+Keeping one implementation is the point: the frame handling used to be
+inlined in ``net/cluster.py``, so a gateway would have re-grown its own
+subtly different copy.  Now ``net/cluster.py`` is orchestration only.
+
+Timeouts derive from the cluster's ``time_scale`` (seconds of wall
+clock per protocol Δ) via :func:`scaled_timeout`: the historical
+15-second constants are exactly reproduced at the reference smoke
+``time_scale`` of 0.05 s/Δ and grow linearly above it, so a slow cell
+(big ``time_scale``) can no longer outlive a hard-coded wall-clock
+wait and flake.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.net.codec import (
+    WIRE_CODEC,
+    ClientSubmit,
+    ClientSubmitBatch,
+    CollectReply,
+    CollectRequest,
+    CommitAck,
+    FrameBuffer,
+    SnapshotRequest,
+    StartRun,
+    WireCodec,
+)
+from repro.smr.mempool import Transaction
+
+#: The seconds-per-Δ the A7 smoke cells run at; the base timeouts below
+#: are calibrated for it and scale linearly above it.
+REFERENCE_TIME_SCALE = 0.05
+
+#: Wall-clock seconds to wait for a replica's client port to accept, at
+#: (or below) the reference time scale.
+CONNECT_TIMEOUT_BASE = 15.0
+
+#: Wall-clock seconds to wait for a CollectReply, at (or below) the
+#: reference time scale.
+COLLECT_TIMEOUT_BASE = 15.0
+
+
+def scaled_timeout(base: float, time_scale: float) -> float:
+    """``base`` seconds at the reference ``time_scale``, linear above.
+
+    A cluster running at 4x the reference seconds-per-Δ needs 4x the
+    wall-clock patience for the same protocol progress; a faster-than-
+    reference cluster keeps the full base as a floor (process spawn and
+    socket accept do not speed up with the protocol clock).
+    """
+    return base * max(1.0, time_scale / REFERENCE_TIME_SCALE)
+
+
+@dataclass
+class AckCorrelator:
+    """Correlates CommitAcks from many replicas back to submissions.
+
+    The single source of truth for ack bookkeeping: which txids were
+    submitted (and when), which replica acked which txid, the submit →
+    ack wall-clock latency samples, and the slot each transaction
+    finalized in.  Duplicate acks and acks for transactions never
+    submitted are ignored.
+    """
+
+    expected: set[str] = field(default_factory=set)
+    submit_times: dict[str, float] = field(default_factory=dict)
+    #: txids acked, per replica id.
+    acked: dict[int, set[str]] = field(default_factory=dict)
+    #: Finalization slot per txid (first ack wins).
+    slots: dict[str, int] = field(default_factory=dict)
+    latency_samples: list[float] = field(default_factory=list)
+    last_ack_time: float = 0.0
+
+    def track_nodes(self, node_ids: Iterable[int]) -> None:
+        """Pre-register replicas so one that never acks anything drags
+        quorum/minimum computations to zero instead of dropping out."""
+        for node_id in node_ids:
+            self.acked.setdefault(node_id, set())
+
+    def record_submit(self, txid: str, now: float) -> None:
+        self.expected.add(txid)
+        self.submit_times.setdefault(txid, now)
+
+    def record_ack(self, node_id: int, ack: CommitAck, now: float) -> float | None:
+        """Correlate one ack; returns the latency sample if it was new."""
+        submitted = self.submit_times.get(ack.txid)
+        if submitted is None:
+            return None  # an ack for a transaction we never sent
+        acked = self.acked.setdefault(node_id, set())
+        if ack.txid in acked:
+            return None
+        acked.add(ack.txid)
+        self.slots.setdefault(ack.txid, ack.slot)
+        latency = now - submitted
+        self.latency_samples.append(latency)
+        self.last_ack_time = now
+        return latency
+
+    def ack_count(self, txid: str) -> int:
+        """How many distinct replicas acked ``txid``."""
+        return sum(1 for acked in self.acked.values() if txid in acked)
+
+    def all_acked(self, live: set[int]) -> bool:
+        """Every live replica acked every expected transaction."""
+        if not live:
+            return False
+        return all(self.expected <= self.acked.get(node_id, set()) for node_id in live)
+
+
+class ReplicaConnection:
+    """One connection to one replica's client port."""
+
+    def __init__(self, node_id: int, host: str, port: int, pool: "ReplicaPool") -> None:
+        self.node_id = node_id
+        self.host = host
+        self.port = port
+        self._pool = pool
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.dead = False
+        self._task: asyncio.Task | None = None
+
+    async def connect(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.reader, self.writer = await asyncio.open_connection(self.host, self.port)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise SimulationError(
+                        f"replica {self.node_id} never opened its client port "
+                        f"{self.host}:{self.port} within {timeout}s"
+                    ) from None
+                await asyncio.sleep(0.05)
+        self._task = asyncio.ensure_future(self._read_loop())
+
+    def send_frame(self, frame: bytes) -> None:
+        if self.writer is not None and not self.writer.is_closing():
+            self.writer.write(frame)
+
+    async def _read_loop(self) -> None:
+        assert self.reader is not None
+        buffer = FrameBuffer(self._pool.codec)
+        try:
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                for message in buffer.feed(data):
+                    self._pool._on_message(self.node_id, message)
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            self.dead = True
+            self._pool._on_conn_death(self.node_id)
+
+    def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+        if self.writer is not None:
+            self.writer.close()
+
+
+class ReplicaPool:
+    """A pool of client connections, one per replica.
+
+    ``addrs`` maps replica id → (host, client port).  Commit acks are
+    dispatched to the ``on_ack(node_id, CommitAck)`` callback; replica
+    deaths to ``on_death(node_id)``.  CollectReplies are correlated to
+    the :meth:`collect` / :meth:`snapshot` call that requested them.
+    """
+
+    def __init__(
+        self,
+        addrs: Mapping[int, tuple[str, int]],
+        *,
+        time_scale: float = REFERENCE_TIME_SCALE,
+        codec: WireCodec = WIRE_CODEC,
+        on_ack=None,
+        on_death=None,
+    ) -> None:
+        self.codec = codec
+        self.connect_timeout = scaled_timeout(CONNECT_TIMEOUT_BASE, time_scale)
+        self.collect_timeout = scaled_timeout(COLLECT_TIMEOUT_BASE, time_scale)
+        self.on_ack = on_ack
+        self.on_death = on_death
+        self._conns = {
+            node_id: ReplicaConnection(node_id, host, port, self)
+            for node_id, (host, port) in sorted(addrs.items())
+        }
+        self.live: set[int] = set(self._conns)
+        self._reply_waiters: dict[int, asyncio.Future] = {}
+        self._reply_lock = asyncio.Lock()
+
+    @classmethod
+    def from_specs(cls, specs, **kwargs) -> "ReplicaPool":
+        """Build from the launcher's ReplicaSpec list (client ports)."""
+        return cls({spec.node_id: (spec.host, spec.client_port) for spec in specs}, **kwargs)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def connect(self) -> None:
+        """Connect to every replica (waits out process start-up)."""
+        await asyncio.gather(
+            *(conn.connect(self.connect_timeout) for conn in self._conns.values())
+        )
+
+    def start_run(self) -> None:
+        """Tell every replica the cluster is assembled: begin consensus."""
+        self.broadcast(StartRun())
+
+    def exclude(self, node_id: int) -> None:
+        """Stop sending to (and expecting acks from) ``node_id`` — used
+        when the orchestrator kills a replica on purpose."""
+        self.live.discard(node_id)
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            conn.close()
+
+    # -- submission -----------------------------------------------------------
+
+    def broadcast(self, message: object) -> None:
+        """Encode once, send to every live replica."""
+        self.broadcast_frame(self.codec.encode_frame(message))
+
+    def broadcast_frame(self, frame: bytes) -> None:
+        for conn in self._conns.values():
+            if not conn.dead and conn.node_id in self.live:
+                conn.send_frame(frame)
+
+    def submit(self, txn: Transaction) -> None:
+        """Submit one transaction to every live replica (one encode)."""
+        self.broadcast(ClientSubmit(txn))
+
+    def submit_many(self, txns: list[Transaction]) -> None:
+        """Submit a server-side batch as one frame per replica.
+
+        A singleton batch degenerates to the bare ``ClientSubmit`` —
+        the same discipline the message plane's VoteBatch envelope
+        follows (no envelope overhead for unbatchable traffic).
+        """
+        if not txns:
+            return
+        if len(txns) == 1:
+            self.submit(txns[0])
+        else:
+            self.broadcast(ClientSubmitBatch(tuple(txns)))
+
+    # -- reply correlation ----------------------------------------------------
+
+    def _on_message(self, node_id: int, message: object) -> None:
+        if isinstance(message, CommitAck):
+            if self.on_ack is not None:
+                self.on_ack(node_id, message)
+        elif isinstance(message, CollectReply):
+            waiter = self._reply_waiters.get(node_id)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(message)
+
+    def _on_conn_death(self, node_id: int) -> None:
+        self.live.discard(node_id)
+        waiter = self._reply_waiters.get(node_id)
+        if waiter is not None and not waiter.done():
+            waiter.cancel()
+        if self.on_death is not None:
+            self.on_death(node_id)
+
+    async def _request_replies(
+        self, request: object, timeout: float | None
+    ) -> dict[int, CollectReply]:
+        """Send ``request`` to every live replica; gather their replies.
+
+        Replicas that die or stay silent are simply absent from the
+        result — the caller decides whether that is fatal.
+        """
+        if timeout is None:
+            timeout = self.collect_timeout
+        async with self._reply_lock:
+            targets = [
+                conn
+                for conn in self._conns.values()
+                if not conn.dead and conn.node_id in self.live
+            ]
+            loop = asyncio.get_running_loop()
+            self._reply_waiters = {conn.node_id: loop.create_future() for conn in targets}
+            frame = self.codec.encode_frame(request)
+            for conn in targets:
+                conn.send_frame(frame)
+            replies: dict[int, CollectReply] = {}
+            deadline = time.monotonic() + timeout
+            try:
+                for node_id, waiter in self._reply_waiters.items():
+                    remaining = deadline - time.monotonic()
+                    try:
+                        replies[node_id] = await asyncio.wait_for(waiter, max(remaining, 0.001))
+                    except asyncio.TimeoutError:
+                        pass
+                    except asyncio.CancelledError:
+                        # The waiter (not this task) was cancelled: the
+                        # connection died mid-request.  Skip the node.
+                        if not waiter.cancelled():
+                            raise
+            finally:
+                self._reply_waiters = {}
+            return replies
+
+    async def snapshot(self, timeout: float | None = None) -> dict[int, CollectReply]:
+        """Read-path snapshot: current chain/state from every live
+        replica, *without* shutting anything down."""
+        return await self._request_replies(SnapshotRequest(), timeout)
+
+    async def collect(self, timeout: float | None = None) -> dict[int, CollectReply]:
+        """End-of-run evidence collection; replicas shut down after
+        replying (the A7 teardown contract)."""
+        return await self._request_replies(CollectRequest(), timeout)

@@ -9,6 +9,12 @@ finally collects every surviving replica's finalized chain, state
 digest and applied-transaction log — the evidence the
 :class:`~repro.verification.audit.SafetyAuditor` replays.
 
+All client-side frame handling (connections, ack correlation, collect)
+lives in :mod:`repro.net.client` — the same repository layer the
+gateway service consumes — so this module is pure orchestration:
+process lifecycle, schedule pacing, fault injection, measurement
+windows.
+
 Fault injection is first-class: ``kill_after`` terminates one replica
 (SIGTERM, no goodbye) once a fraction of the workload has been
 submitted, which is how the bench demonstrates that an n=4 deployment
@@ -25,31 +31,19 @@ pruned behind the finalized tip) instead of the simulator's tight
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import multiprocessing
 import socket
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.net.codec import (
-    WIRE_CODEC,
-    ClientSubmit,
-    CollectReply,
-    CollectRequest,
-    CommitAck,
-    FrameBuffer,
-    StartRun,
-)
+from repro.net.client import AckCorrelator, ReplicaPool
+from repro.net.codec import WIRE_CODEC, ClientSubmit, CollectReply
 from repro.net.replica_main import ReplicaSpec, run_replica
 from repro.smr.engine import ENGINE_NAMES
 from repro.smr.mempool import Transaction
 from repro.verification.audit import ReplicaEvidence
-
-#: Wall-clock seconds the driver waits for client ports to accept.
-CONNECT_TIMEOUT = 15.0
-
-#: Wall-clock seconds the driver waits for a CollectReply.
-COLLECT_TIMEOUT = 15.0
 
 
 @dataclass(frozen=True)
@@ -182,103 +176,30 @@ def sized_max_slots(config: ClusterConfig, injected: int) -> int | None:
     return max(injected, 1) + 64 + burn_budget
 
 
-class _ClientConnection:
-    """Driver-side connection to one replica's client port."""
+@contextlib.contextmanager
+def cluster_processes(config: ClusterConfig):
+    """Spawn one OS process per replica; reap them all on exit.
 
-    def __init__(self, node_id: int, driver: "_Driver") -> None:
-        self.node_id = node_id
-        self.driver = driver
-        self.reader: asyncio.StreamReader | None = None
-        self.writer: asyncio.StreamWriter | None = None
-        self.reply: CollectReply | None = None
-        self.dead = False
-        self._task: asyncio.Task | None = None
-
-    async def connect(self, host: str, port: int) -> None:
-        deadline = time.monotonic() + CONNECT_TIMEOUT
-        while True:
-            try:
-                self.reader, self.writer = await asyncio.open_connection(host, port)
-                break
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise SimulationError(
-                        f"replica {self.node_id} never opened its client port "
-                        f"{host}:{port} within {CONNECT_TIMEOUT}s"
-                    ) from None
-                await asyncio.sleep(0.05)
-        self._task = asyncio.ensure_future(self._read_loop())
-
-    def send(self, message: object) -> None:
-        self.send_frame(WIRE_CODEC.encode_frame(message))
-
-    def send_frame(self, frame: bytes) -> None:
-        if self.writer is not None and not self.writer.is_closing():
-            self.writer.write(frame)
-
-    async def _read_loop(self) -> None:
-        assert self.reader is not None
-        buffer = FrameBuffer(WIRE_CODEC)
-        try:
-            while True:
-                data = await self.reader.read(65536)
-                if not data:
-                    break
-                for message in buffer.feed(data):
-                    if isinstance(message, CommitAck):
-                        self.driver.on_ack(self.node_id, message)
-                    elif isinstance(message, CollectReply):
-                        self.reply = message
-                        self.driver.on_reply()
-        except (OSError, ConnectionError):
-            pass
-        finally:
-            self.dead = True
-            self.driver.on_death(self.node_id)
-
-    def close(self) -> None:
-        if self._task is not None:
-            self._task.cancel()
-        if self.writer is not None:
-            self.writer.close()
-
-
-@dataclass
-class _Driver:
-    """Shared driver state the connections report into."""
-
-    expected: set[str] = field(default_factory=set)
-    acked: dict[int, set[str]] = field(default_factory=dict)
-    submit_times: dict[str, float] = field(default_factory=dict)
-    latency_samples: list[float] = field(default_factory=list)
-    last_ack_time: float = 0.0
-    live: set[int] = field(default_factory=set)
-    progress: asyncio.Event = field(default_factory=asyncio.Event)
-
-    def on_ack(self, node_id: int, ack: CommitAck) -> None:
-        now = time.monotonic()
-        submitted = self.submit_times.get(ack.txid)
-        if submitted is None:
-            return  # an ack for a transaction we never sent (impossible today)
-        acked = self.acked.setdefault(node_id, set())
-        if ack.txid in acked:
-            return
-        acked.add(ack.txid)
-        self.latency_samples.append(now - submitted)
-        self.last_ack_time = now
-        self.progress.set()
-
-    def on_reply(self) -> None:
-        self.progress.set()
-
-    def on_death(self, node_id: int) -> None:
-        self.live.discard(node_id)
-        self.progress.set()
-
-    def all_acked(self) -> bool:
-        if not self.live:
-            return False
-        return all(self.expected <= self.acked.get(node_id, set()) for node_id in self.live)
+    Yields ``(specs, processes)``.  The gateway experiment uses this
+    directly (its cluster outlives any single workload schedule); the
+    bench driver wraps it in :func:`run_cluster_workload`.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    specs = build_specs(config)
+    processes = [ctx.Process(target=run_replica, args=(spec,), daemon=True) for spec in specs]
+    for process in processes:
+        process.start()
+    try:
+        yield specs, processes
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=5.0)
 
 
 async def _drive(
@@ -288,89 +209,68 @@ async def _drive(
     processes: list,
     kill_after: tuple[int, float] | None,
 ) -> NetRunResult:
-    driver = _Driver()
-    driver.live = set(range(config.n))
-    # Every replica gets an (initially empty) ack set up front, so a
-    # replica that never acks anything drags `committed` to zero
-    # instead of silently dropping out of the minimum.
-    driver.acked = {node_id: set() for node_id in range(config.n)}
-    connections = [_ClientConnection(spec.node_id, driver) for spec in specs]
-    await asyncio.gather(
-        *(
-            conn.connect(config.host, spec.client_port)
-            for conn, spec in zip(connections, specs)
-        )
+    correlator = AckCorrelator()
+    correlator.track_nodes(range(config.n))
+    progress = asyncio.Event()
+
+    def on_ack(node_id: int, ack) -> None:
+        if correlator.record_ack(node_id, ack, time.monotonic()) is not None:
+            progress.set()
+
+    def on_death(node_id: int) -> None:
+        progress.set()
+
+    pool = ReplicaPool.from_specs(
+        specs, time_scale=config.time_scale, on_ack=on_ack, on_death=on_death
     )
-    for conn in connections:
-        conn.send(StartRun())
+    await pool.connect()
+    pool.start_run()
 
     killed: list[int] = []
     kill_at_index = None
     if kill_after is not None:
         kill_at_index = max(1, int(len(schedule) * kill_after[1]))
 
+    def kill_victim() -> None:
+        victim = kill_after[0]
+        processes[victim].terminate()
+        killed.append(victim)
+        pool.exclude(victim)
+
     t0 = time.monotonic()
     first_submit = None
     for index, (at, txn) in enumerate(schedule):
         if kill_at_index is not None and index == kill_at_index:
-            victim = kill_after[0]
-            processes[victim].terminate()
-            killed.append(victim)
-            driver.live.discard(victim)
+            kill_victim()
         wait = t0 + at * config.time_scale - time.monotonic()
         if wait > 0:
             await asyncio.sleep(wait)
         now = time.monotonic()
         if first_submit is None:
             first_submit = now
-        driver.expected.add(txn.txid)
-        driver.submit_times.setdefault(txn.txid, now)
+        correlator.record_submit(txn.txid, now)
         # One serialization per transaction, not per connection — the
         # encode sits inside the measured latency window.
-        frame = WIRE_CODEC.encode_frame(ClientSubmit(txn))
-        for conn in connections:
-            if not conn.dead and conn.node_id not in killed:
-                conn.send_frame(frame)
+        pool.broadcast_frame(WIRE_CODEC.encode_frame(ClientSubmit(txn)))
     # Kill scheduled past the end of the workload (fraction >= 1).
     if kill_at_index is not None and kill_at_index >= len(schedule) and not killed:
-        victim = kill_after[0]
-        processes[victim].terminate()
-        killed.append(victim)
-        driver.live.discard(victim)
+        kill_victim()
 
     deadline = t0 + config.deadline
     completed = False
     while time.monotonic() < deadline:
-        if driver.all_acked():
+        if correlator.all_acked(pool.live):
             completed = True
             break
-        driver.progress.clear()
+        progress.clear()
         remaining = deadline - time.monotonic()
         try:
-            await asyncio.wait_for(driver.progress.wait(), timeout=min(0.2, remaining))
+            await asyncio.wait_for(progress.wait(), timeout=min(0.2, remaining))
         except asyncio.TimeoutError:
             pass
 
     # Collect evidence from every replica still standing.
-    for conn in connections:
-        if not conn.dead and conn.node_id in driver.live:
-            conn.send(CollectRequest())
-    collect_deadline = time.monotonic() + COLLECT_TIMEOUT
-    while time.monotonic() < collect_deadline:
-        waiting = [
-            conn
-            for conn in connections
-            if conn.node_id in driver.live and conn.reply is None and not conn.dead
-        ]
-        if not waiting:
-            break
-        driver.progress.clear()
-        try:
-            await asyncio.wait_for(driver.progress.wait(), timeout=0.2)
-        except asyncio.TimeoutError:
-            pass
-
-    replies = {conn.node_id: conn.reply for conn in connections if conn.reply is not None}
+    replies = await pool.collect()
     evidence = [
         ReplicaEvidence(
             node_id=reply.node_id,
@@ -380,8 +280,7 @@ async def _drive(
         )
         for reply in replies.values()
     ]
-    for conn in connections:
-        conn.close()
+    pool.close()
     unexpected = tuple(
         sorted(
             node_id
@@ -389,12 +288,12 @@ async def _drive(
             if node_id not in killed and node_id not in replies
         )
     )
-    measure_end = driver.last_ack_time or time.monotonic()
+    measure_end = correlator.last_ack_time or time.monotonic()
     measure_start = first_submit if first_submit is not None else t0
     return NetRunResult(
-        injected=len(driver.expected),
-        latency_samples=driver.latency_samples,
-        acked=driver.acked,
+        injected=len(correlator.expected),
+        latency_samples=correlator.latency_samples,
+        acked=correlator.acked,
         evidence=sorted(evidence, key=lambda ev: ev.node_id),
         replies=replies,
         killed=tuple(killed),
@@ -420,33 +319,17 @@ def run_cluster_workload(
         raise ConfigurationError(f"kill victim {kill_after[0]} outside 0..{config.n - 1}")
     if config.max_slots == 0:
         config = replace(config, max_slots=sized_max_slots(config, len(schedule)))
-    ctx = multiprocessing.get_context("spawn")
     # Port reservation is bind-then-close, so another process can steal
     # a port between reservation and the replica's own bind.  A cluster
     # that never opens its client ports raises before anything was
     # measured; one relaunch with freshly reserved ports absorbs it.
     for attempt in (0, 1):
-        specs = build_specs(config)
-        processes = [
-            ctx.Process(target=run_replica, args=(spec,), daemon=True)
-            for spec in specs
-        ]
-        for process in processes:
-            process.start()
-        try:
-            return asyncio.run(_drive(config, specs, schedule, processes, kill_after))
-        except SimulationError:
-            if attempt == 1:
-                raise
-        finally:
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            for process in processes:
-                process.join(timeout=5.0)
-                if process.is_alive():  # pragma: no cover - last resort
-                    process.kill()
-                    process.join(timeout=5.0)
+        with cluster_processes(config) as (specs, processes):
+            try:
+                return asyncio.run(_drive(config, specs, schedule, processes, kill_after))
+            except SimulationError:
+                if attempt == 1:
+                    raise
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -434,6 +434,29 @@ class CollectRequest:
 
 
 @dataclass(frozen=True)
+class SnapshotRequest:
+    """Client → replica: report your current state, keep running.
+
+    The gateway's read path: same :class:`CollectReply` shape as the
+    terminal collect, but the replica stays in consensus — reads are
+    served from finalized snapshots without touching the protocol.
+    """
+
+
+@dataclass(frozen=True)
+class ClientSubmitBatch:
+    """Client → replica: inject many transactions in one frame.
+
+    The gateway coalesces concurrent client submissions into one frame
+    per replica per flush window — the client-plane counterpart of the
+    message plane's VoteBatch envelope (a singleton submission travels
+    as the bare :class:`ClientSubmit` instead).
+    """
+
+    txns: tuple  # tuple[Transaction, ...]
+
+
+@dataclass(frozen=True)
 class CollectReply:
     """A replica's end-of-run evidence (audit input) and counters.
 
@@ -489,6 +512,8 @@ def wire_codec() -> WireCodec:
     codec.register(4, CommitAck)
     codec.register(5, CollectRequest)
     codec.register(6, CollectReply)
+    codec.register(7, SnapshotRequest)
+    codec.register(8, ClientSubmitBatch)
     # Shared nested structures.
     codec.register(16, VoteRecord)
     codec.register(17, Block)

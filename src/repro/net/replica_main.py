@@ -10,7 +10,12 @@ server:
 * peer frames are decoded and fed to ``replica.receive`` (buffered
   until the driver's ``StartRun`` arrives — over real sockets a fast
   peer's first proposal can beat the local start signal);
-* ``ClientSubmit`` frames go to ``replica.submit``;
+* ``ClientSubmit`` / ``ClientSubmitBatch`` frames go to
+  ``replica.submit`` (the batch form is the gateway's server-side
+  submission coalescing — many client submissions, one frame);
+* ``SnapshotRequest`` answers with the same ``CollectReply`` evidence
+  as a collect but keeps the replica in consensus — the gateway's read
+  path serves executed state from these snapshots;
 * every executed transaction is acknowledged to connected clients with
   a ``CommitAck`` (the driver's wall-clock latency sample);
 * ``CollectRequest`` answers with a ``CollectReply`` carrying the
@@ -30,11 +35,13 @@ from repro.metrics.smr_trackers import SMRTrackers
 from repro.net.codec import (
     WIRE_CODEC,
     ClientSubmit,
+    ClientSubmitBatch,
     CodecError,
     CollectReply,
     CollectRequest,
     CommitAck,
     FrameBuffer,
+    SnapshotRequest,
     StartRun,
 )
 from repro.net.transport import LinkLatency, NetContext, NetTransport, install_uvloop
@@ -170,8 +177,17 @@ class ReplicaProcess:
                     if isinstance(message, ClientSubmit):
                         if isinstance(message.txn, Transaction):
                             self.replica.submit(message.txn)
+                    elif isinstance(message, ClientSubmitBatch):
+                        for txn in message.txns:
+                            if isinstance(txn, Transaction):
+                                self.replica.submit(txn)
                     elif isinstance(message, StartRun):
                         self._start_consensus()
+                    elif isinstance(message, SnapshotRequest):
+                        # Read path: answer with the same evidence shape
+                        # as a collect, but stay in consensus.
+                        writer.write(self.codec.encode_frame(self._collect_reply()))
+                        await writer.drain()
                     elif isinstance(message, CollectRequest):
                         writer.write(self.codec.encode_frame(self._collect_reply()))
                         await writer.drain()

@@ -1,0 +1,436 @@
+"""Gateway session-service behaviour: fairness, batching, commits, reads.
+
+Pure in-process tests — the service runs over a stub pool (no sockets,
+no subprocesses) and an injected fake clock, so token refill
+arithmetic, quorum arithmetic and eviction policy are pinned exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.gateway.ratelimit import (
+    AdmissionController,
+    AdmissionDenied,
+    RateLimited,
+    TokenBucket,
+)
+from repro.gateway.service import (
+    EVICTED,
+    DuplicateTransaction,
+    GatewayConfig,
+    GatewayService,
+    SnapshotUnavailable,
+)
+from repro.net.codec import ClientSubmit, ClientSubmitBatch, CollectReply, CommitAck
+from repro.smr.kvstore import KVStore
+from repro.smr.mempool import Transaction
+from repro.multishot.block import GENESIS_DIGEST, Block
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubPool:
+    """Records submissions; snapshot() serves canned replies."""
+
+    def __init__(self, n: int = 4) -> None:
+        self.live = set(range(n))
+        self.on_ack = None
+        self.on_death = None
+        self.sent: list[object] = []
+        self.canned_snapshots: dict[int, CollectReply] = {}
+        self.started = False
+
+    def start_run(self) -> None:
+        self.started = True
+
+    def submit(self, txn: Transaction) -> None:
+        self.sent.append(ClientSubmit(txn))
+
+    def submit_many(self, txns: list[Transaction]) -> None:
+        if len(txns) == 1:
+            self.submit(txns[0])
+        elif txns:
+            self.sent.append(ClientSubmitBatch(tuple(txns)))
+
+    async def snapshot(self, timeout=None) -> dict[int, CollectReply]:
+        return dict(self.canned_snapshots)
+
+
+def _txn(i: int, op: tuple = ("noop",)) -> Transaction:
+    return Transaction(txid=f"t{i}", op=op)
+
+
+def _service(
+    n: int = 4, clock: FakeClock | None = None, **overrides
+) -> tuple[GatewayService, StubPool, FakeClock]:
+    clock = clock or FakeClock()
+    pool = StubPool(n)
+    defaults = dict(n=n, rate=10.0, burst=3.0, max_batch=4, snapshot_interval=0.0)
+    defaults.update(overrides)
+    service = GatewayService(pool, GatewayConfig(**defaults), clock=clock)
+    return service, pool, clock
+
+
+def _commit(service: GatewayService, txid: str, *, n_acks: int, slot: int = 1) -> None:
+    for node_id in range(n_acks):
+        service._on_ack(node_id, CommitAck(node_id=node_id, txid=txid, slot=slot))
+
+
+# -- token bucket -------------------------------------------------------------
+
+
+def test_token_bucket_refills_at_rate_up_to_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+    assert bucket.tokens == pytest.approx(5.0)  # starts full
+    for _ in range(5):
+        assert bucket.try_take() == 0.0
+    assert bucket.tokens == pytest.approx(0.0)
+    clock.advance(0.25)  # 2.5 tokens back
+    assert bucket.tokens == pytest.approx(2.5)
+    clock.advance(10.0)  # refill clamps at burst
+    assert bucket.tokens == pytest.approx(5.0)
+
+
+def test_token_bucket_reports_exact_retry_after_when_empty():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+    assert bucket.try_take() == 0.0
+    # Empty: one token refills in exactly 1/4 second.
+    assert bucket.try_take() == pytest.approx(0.25)
+    clock.advance(0.1)  # 0.4 tokens there, 0.6 missing
+    assert bucket.try_take() == pytest.approx(0.6 / 4.0)
+
+
+def test_token_bucket_rejects_non_positive_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=-2.0)
+
+
+# -- admission control --------------------------------------------------------
+
+
+def test_burst_rejection_carries_retry_after():
+    clock = FakeClock()
+    admission = AdmissionController(
+        max_clients=10, max_inflight_per_client=100, rate=10.0, burst=2.0, clock=clock
+    )
+    admission.check_submit("alice")
+    admission.check_submit("alice")
+    with pytest.raises(RateLimited) as exc_info:
+        admission.check_submit("alice")
+    assert exc_info.value.retry_after == pytest.approx(0.1)
+    clock.advance(0.1)
+    admission.check_submit("alice")  # refilled
+
+
+def test_per_client_isolation_one_flooder_cannot_starve_another():
+    clock = FakeClock()
+    admission = AdmissionController(
+        max_clients=10, max_inflight_per_client=100, rate=10.0, burst=2.0, clock=clock
+    )
+    admission.check_submit("flooder")
+    admission.check_submit("flooder")
+    with pytest.raises(RateLimited):
+        admission.check_submit("flooder")
+    # A different client has its own untouched bucket.
+    admission.check_submit("bob")
+    assert admission.clients["flooder"].rejected == 1
+    assert admission.clients["bob"].rejected == 0
+
+
+def test_client_capacity_is_denied_not_rate_limited():
+    admission = AdmissionController(
+        max_clients=2, max_inflight_per_client=10, rate=10.0, burst=5.0, clock=FakeClock()
+    )
+    admission.check_submit("a")
+    admission.check_submit("b")
+    with pytest.raises(AdmissionDenied) as exc_info:
+        admission.check_submit("c")
+    assert exc_info.value.code == "client_capacity"
+    # Existing clients are unaffected by the full house.
+    admission.check_submit("a")
+
+
+def test_inflight_cap_limits_uncommitted_submissions_per_client():
+    clock = FakeClock()
+    admission = AdmissionController(
+        max_clients=10, max_inflight_per_client=2, rate=1000.0, burst=1000.0, clock=clock
+    )
+    admission.check_submit("a").inflight = 2
+    with pytest.raises(RateLimited):
+        admission.check_submit("a")
+
+
+# -- submission batching ------------------------------------------------------
+
+
+def test_submissions_batch_up_to_max_batch_into_one_frame():
+    async def scenario():
+        service, pool, _clock = _service(rate=1000.0, burst=1000.0, max_batch=3)
+        await service.start(start_consensus=False)
+        for i in range(3):
+            service.submit("alice", _txn(i))
+        assert len(pool.sent) == 1
+        (frame,) = pool.sent
+        assert isinstance(frame, ClientSubmitBatch)
+        assert [txn.txid for txn in frame.txns] == ["t0", "t1", "t2"]
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_batch_window_flushes_a_singleton_as_bare_submit():
+    async def scenario():
+        service, pool, _clock = _service(
+            rate=1000.0, burst=1000.0, max_batch=64, batch_window=0.01
+        )
+        await service.start(start_consensus=False)
+        service.submit("alice", _txn(0))
+        assert pool.sent == []  # still buffered
+        await asyncio.sleep(0.05)
+        assert len(pool.sent) == 1
+        assert isinstance(pool.sent[0], ClientSubmit)
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_duplicate_txid_is_rejected_without_spending_tokens():
+    async def scenario():
+        service, _pool, _clock = _service(rate=10.0, burst=2.0)
+        await service.start(start_consensus=False)
+        service.submit("alice", _txn(0))
+        with pytest.raises(DuplicateTransaction):
+            service.submit("alice", _txn(0))
+        # The duplicate did not burn the second token.
+        service.submit("alice", _txn(1))
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+# -- quorum commit tracking ---------------------------------------------------
+
+
+def test_commit_requires_f_plus_one_distinct_replica_acks():
+    async def scenario():
+        service, _pool, clock = _service(n=4, rate=1000.0, burst=1000.0)
+        await service.start(start_consensus=False)
+        status = service.submit("alice", _txn(0))
+        assert service.config.ack_quorum == 2
+        clock.advance(0.5)
+        service._on_ack(0, CommitAck(node_id=0, txid="t0", slot=5))
+        assert not status.committed
+        # A duplicate ack from the same replica is not quorum.
+        service._on_ack(0, CommitAck(node_id=0, txid="t0", slot=5))
+        assert not status.committed
+        service._on_ack(1, CommitAck(node_id=1, txid="t0", slot=5))
+        assert status.committed
+        assert status.slot == 5
+        assert status.latency == pytest.approx(0.5)
+        view = service.txn_view("t0")
+        assert view["status"] == "committed"
+        assert view["latency_ms"] == pytest.approx(500.0)
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_commit_frees_the_clients_inflight_budget():
+    async def scenario():
+        service, _pool, _clock = _service(
+            n=4, rate=1000.0, burst=1000.0, max_inflight_per_client=2
+        )
+        await service.start(start_consensus=False)
+        service.submit("alice", _txn(0))
+        service.submit("alice", _txn(1))
+        with pytest.raises(RateLimited):
+            service.submit("alice", _txn(2))
+        _commit(service, "t0", n_acks=2)
+        service.submit("alice", _txn(3))  # budget freed by the commit
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+# -- subscription fan-out -----------------------------------------------------
+
+
+def test_commit_events_fan_out_to_every_subscriber():
+    async def scenario():
+        service, _pool, _clock = _service(n=4, rate=1000.0, burst=1000.0)
+        await service.start(start_consensus=False)
+        sub_a, sub_b = service.subscribe(), service.subscribe()
+        service.submit("alice", _txn(0))
+        _commit(service, "t0", n_acks=2, slot=9)
+        for sub in (sub_a, sub_b):
+            event = await asyncio.wait_for(sub.next_event(), timeout=1.0)
+            assert event["type"] == "commit"
+            assert event["txid"] == "t0"
+            assert event["slot"] == 9
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_slow_subscriber_is_evicted_with_a_sentinel():
+    async def scenario():
+        service, _pool, _clock = _service(
+            n=4, rate=1000.0, burst=1000.0, subscriber_queue=2, max_batch=1000
+        )
+        await service.start(start_consensus=False)
+        slow = service.subscribe()
+        for i in range(4):
+            service.submit("alice", _txn(i))
+            _commit(service, f"t{i}", n_acks=2)
+        assert slow.evicted
+        assert slow not in service.subscriptions  # no further deliveries
+        assert service.counters["subscribers_evicted"] == 1
+        # The queue ends with the eviction notice; earlier events that
+        # fit are still deliverable.
+        drained = []
+        while True:
+            event = await asyncio.wait_for(slow.next_event(), timeout=1.0)
+            drained.append(event)
+            if event is EVICTED:
+                break
+        assert drained[-1] is EVICTED
+        assert len(drained) == 2  # queue depth held
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_unsubscribed_subscriber_stops_counting():
+    async def scenario():
+        service, _pool, _clock = _service(n=4, rate=1000.0, burst=1000.0)
+        await service.start(start_consensus=False)
+        sub = service.subscribe()
+        service.unsubscribe(sub)
+        service.submit("alice", _txn(0))
+        _commit(service, "t0", n_acks=2)
+        assert sub.queue.empty()
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+# -- snapshot read path -------------------------------------------------------
+
+
+def _chain(*ops: tuple) -> tuple[Block, ...]:
+    """A linked chain, one txn per block, with honest digests."""
+    blocks: list[Block] = []
+    parent = GENESIS_DIGEST
+    for slot, op in enumerate(ops):
+        payload = (Transaction(txid=f"c{slot}", op=op),)
+        block = Block.create(slot=slot, parent=parent, payload=payload)
+        blocks.append(block)
+        parent = block.digest
+    return tuple(blocks)
+
+
+def _reply(node_id: int, chain: tuple[Block, ...]) -> CollectReply:
+    store = KVStore()
+    for block in chain:
+        for txn in block.payload:
+            store.apply(txn.txid, txn.op)
+    return CollectReply(
+        node_id=node_id,
+        chain=chain,
+        state_digest=store.state_digest(),
+        applied_txids=tuple(txn.txid for block in chain for txn in block.payload),
+        blocks_applied=len(chain),
+        txns_applied=len(chain),
+    )
+
+
+def test_read_state_serves_the_majority_snapshot():
+    async def scenario():
+        service, pool, _clock = _service(n=4)
+        await service.start(start_consensus=False)
+        long_chain = _chain(("set", "x", 1), ("set", "x", 2))
+        short_chain = long_chain[:1]
+        pool.canned_snapshots = {
+            0: _reply(0, long_chain),
+            1: _reply(1, long_chain),
+            2: _reply(2, long_chain),
+            3: _reply(3, short_chain),  # a laggard
+        }
+        support = await service.refresh_snapshots()
+        assert support == 3
+        view = service.read_state("x")
+        assert view.found and view.value == 2
+        assert view.supported_by == 3
+        assert view.chain_length == 2
+        missing = service.read_state("nope")
+        assert not missing.found and missing.value is None
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_snapshot_ties_break_to_the_longest_chain():
+    service, pool, _clock = _service(n=2)
+    long_chain = _chain(("set", "x", 1), ("set", "x", 2))
+    service.ingest_snapshots({0: _reply(0, long_chain[:1]), 1: _reply(1, long_chain)})
+    view = service.read_state("x")
+    assert view.value == 2  # the longer chain won the 1-1 tie
+    assert view.supported_by == 1
+
+
+def test_read_state_without_snapshot_raises():
+    service, _pool, _clock = _service(n=4)
+    with pytest.raises(SnapshotUnavailable):
+        service.read_state("x")
+    with pytest.raises(SnapshotUnavailable):
+        service.chain_history()
+
+
+def test_chain_history_reports_slots_and_txids():
+    service, _pool, _clock = _service(n=1)
+    chain = _chain(("set", "a", 1), ("set", "b", 2), ("set", "c", 3))
+    service.ingest_snapshots({0: _reply(0, chain)})
+    history = service.chain_history(start=1, limit=1)
+    assert history["height"] == 3
+    assert history["tip"] == chain[-1].digest
+    assert [block["slot"] for block in history["blocks"]] == [1]
+    assert history["blocks"][0]["txids"] == ["c1"]
+
+
+def test_metrics_and_health_summarize_the_service():
+    async def scenario():
+        service, pool, _clock = _service(n=4, rate=1000.0, burst=1000.0)
+        await service.start(start_consensus=False)
+        service.submit("alice", _txn(0))
+        service.submit("bob", _txn(1))
+        _commit(service, "t0", n_acks=2)
+        metrics = service.metrics()
+        assert metrics["submitted"] == 2
+        assert metrics["committed"] == 1
+        assert metrics["pending"] == 1
+        assert metrics["clients"] == 2
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["ack_quorum"] == 2
+        # Losing all but one replica degrades health (quorum is 2).
+        pool.live = {0}
+        assert service.health()["status"] == "degraded"
+        await service.stop()
+
+    asyncio.run(scenario())

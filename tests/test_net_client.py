@@ -1,0 +1,298 @@
+"""The shared client repository layer: timeouts, correlation, the pool.
+
+In-process tests (fake replica servers on localhost sockets, no
+subprocesses): the :mod:`repro.net.client` layer is what both the A7
+bench driver and the gateway stand on, so its contracts are pinned
+here — the ``time_scale`` → wall-clock timeout derivation, the
+ack-correlation bookkeeping, and the pool's broadcast / batch /
+snapshot / collect behaviour against scripted replicas.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.net.client import (
+    COLLECT_TIMEOUT_BASE,
+    CONNECT_TIMEOUT_BASE,
+    REFERENCE_TIME_SCALE,
+    AckCorrelator,
+    ReplicaPool,
+    scaled_timeout,
+)
+from repro.net.cluster import allocate_ports
+from repro.net.codec import (
+    WIRE_CODEC,
+    ClientSubmit,
+    ClientSubmitBatch,
+    CollectReply,
+    CollectRequest,
+    CommitAck,
+    FrameBuffer,
+    SnapshotRequest,
+    StartRun,
+)
+from repro.smr.mempool import Transaction
+
+HOST = "127.0.0.1"
+
+
+# -- timeout derivation (the hard-coded waits are gone) -----------------------
+
+
+def test_scaled_timeout_reproduces_the_historical_constants_exactly():
+    # At the reference smoke time scale the old 15-second constants
+    # come back bit-for-bit — A7 smoke behaviour is unchanged.
+    assert scaled_timeout(CONNECT_TIMEOUT_BASE, REFERENCE_TIME_SCALE) == 15.0
+    assert scaled_timeout(COLLECT_TIMEOUT_BASE, REFERENCE_TIME_SCALE) == 15.0
+
+
+def test_scaled_timeout_grows_linearly_above_the_reference_scale():
+    assert scaled_timeout(15.0, 2 * REFERENCE_TIME_SCALE) == 30.0
+    assert scaled_timeout(15.0, 4 * REFERENCE_TIME_SCALE) == 60.0
+
+
+def test_scaled_timeout_keeps_the_base_as_floor_below_the_reference():
+    # Process spawn and socket accept do not speed up with the
+    # protocol clock, so a fast cluster keeps the full base.
+    assert scaled_timeout(15.0, REFERENCE_TIME_SCALE / 5) == 15.0
+    assert scaled_timeout(15.0, 1e-9) == 15.0
+
+
+def test_pool_timeouts_derive_from_time_scale():
+    pool = ReplicaPool({0: (HOST, 1)}, time_scale=0.2)
+    assert pool.connect_timeout == pytest.approx(60.0)
+    assert pool.collect_timeout == pytest.approx(60.0)
+
+
+# -- AckCorrelator ------------------------------------------------------------
+
+
+def _ack(txid: str, slot: int = 3, node_id: int = 0) -> CommitAck:
+    return CommitAck(node_id=node_id, txid=txid, slot=slot)
+
+
+def test_correlator_yields_one_latency_sample_per_new_ack():
+    correlator = AckCorrelator()
+    correlator.record_submit("t1", now=10.0)
+    assert correlator.record_ack(0, _ack("t1"), now=10.5) == pytest.approx(0.5)
+    assert correlator.record_ack(1, _ack("t1"), now=11.0) == pytest.approx(1.0)
+    assert correlator.latency_samples == pytest.approx([0.5, 1.0])
+    assert correlator.ack_count("t1") == 2
+
+
+def test_correlator_ignores_duplicate_and_unknown_acks():
+    correlator = AckCorrelator()
+    correlator.record_submit("t1", now=0.0)
+    assert correlator.record_ack(0, _ack("t1"), now=1.0) is not None
+    assert correlator.record_ack(0, _ack("t1"), now=2.0) is None  # duplicate
+    assert correlator.record_ack(0, _ack("never-sent"), now=2.0) is None
+    assert correlator.latency_samples == pytest.approx([1.0])
+
+
+def test_correlator_all_acked_requires_every_live_replica():
+    correlator = AckCorrelator()
+    correlator.track_nodes([0, 1, 2])
+    correlator.record_submit("t1", now=0.0)
+    correlator.record_ack(0, _ack("t1"), now=1.0)
+    assert not correlator.all_acked({0, 1, 2})
+    correlator.record_ack(1, _ack("t1"), now=1.0)
+    correlator.record_ack(2, _ack("t1"), now=1.0)
+    assert correlator.all_acked({0, 1, 2})
+    # Excluding a replica shrinks the quorum the check runs over.
+    assert correlator.all_acked({0, 1})
+    assert not correlator.all_acked(set())
+
+
+def test_correlator_first_ack_wins_the_slot():
+    correlator = AckCorrelator()
+    correlator.record_submit("t1", now=0.0)
+    correlator.record_ack(0, _ack("t1", slot=7), now=1.0)
+    correlator.record_ack(1, _ack("t1", slot=9), now=1.0)
+    assert correlator.slots["t1"] == 7
+
+
+# -- ReplicaPool against scripted in-process replicas -------------------------
+
+
+class FakeReplica:
+    """A scripted replica client port: acks submissions, answers
+    snapshot/collect, records everything it saw."""
+
+    def __init__(self, node_id: int, port: int) -> None:
+        self.node_id = node_id
+        self.port = port
+        self.received: list[object] = []
+        self.server: asyncio.Server | None = None
+
+    async def start(self) -> None:
+        self.server = await asyncio.start_server(self._serve, HOST, self.port)
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        buffer = FrameBuffer(WIRE_CODEC)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for message in buffer.feed(data):
+                    self.received.append(message)
+                    for reply in self._replies(message):
+                        writer.write(WIRE_CODEC.encode_frame(reply))
+                    await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    def _replies(self, message: object) -> list[object]:
+        if isinstance(message, ClientSubmit):
+            return [CommitAck(node_id=self.node_id, txid=message.txn.txid, slot=1)]
+        if isinstance(message, ClientSubmitBatch):
+            return [
+                CommitAck(node_id=self.node_id, txid=txn.txid, slot=1)
+                for txn in message.txns
+            ]
+        if isinstance(message, (SnapshotRequest, CollectRequest)):
+            return [
+                CollectReply(
+                    node_id=self.node_id,
+                    chain=(),
+                    state_digest=f"digest-{self.node_id}",
+                    applied_txids=(),
+                    blocks_applied=0,
+                    txns_applied=0,
+                )
+            ]
+        return []
+
+    def close(self) -> None:
+        if self.server is not None:
+            self.server.close()
+
+
+async def _fake_cluster(n: int) -> tuple[list[FakeReplica], dict[int, tuple[str, int]]]:
+    ports = allocate_ports(n)
+    replicas = [FakeReplica(node_id, ports[node_id]) for node_id in range(n)]
+    for replica in replicas:
+        await replica.start()
+    return replicas, {replica.node_id: (HOST, replica.port) for replica in replicas}
+
+
+async def _wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError("condition not reached within timeout")
+
+
+def _txn(i: int) -> Transaction:
+    return Transaction(txid=f"t{i}", op=("noop",))
+
+
+def test_pool_submits_reach_every_replica_and_acks_flow_back():
+    acks = []
+
+    async def scenario():
+        replicas, addrs = await _fake_cluster(3)
+        pool = ReplicaPool(addrs, on_ack=lambda nid, ack: acks.append((nid, ack.txid)))
+        await pool.connect()
+        pool.start_run()
+        pool.submit(_txn(0))
+        await _wait_for(lambda: len(acks) == 3)
+        for replica in replicas:
+            kinds = [type(m).__name__ for m in replica.received]
+            assert kinds == ["StartRun", "ClientSubmit"]
+            replica.close()
+        pool.close()
+
+    asyncio.run(scenario())
+    assert sorted(acks) == [(0, "t0"), (1, "t0"), (2, "t0")]
+
+
+def test_pool_submit_many_degenerates_singleton_to_bare_submit():
+    async def scenario():
+        replicas, addrs = await _fake_cluster(1)
+        pool = ReplicaPool(addrs)
+        await pool.connect()
+        pool.submit_many([_txn(1)])
+        pool.submit_many([_txn(2), _txn(3)])
+        pool.submit_many([])  # no frame at all
+        await _wait_for(lambda: len(replicas[0].received) == 2)
+        single, batch = replicas[0].received
+        assert isinstance(single, ClientSubmit) and single.txn.txid == "t1"
+        assert isinstance(batch, ClientSubmitBatch)
+        assert [txn.txid for txn in batch.txns] == ["t2", "t3"]
+        replicas[0].close()
+        pool.close()
+
+    asyncio.run(scenario())
+
+
+def test_pool_snapshot_gathers_a_reply_per_replica_without_shutdown():
+    async def scenario():
+        replicas, addrs = await _fake_cluster(3)
+        pool = ReplicaPool(addrs)
+        await pool.connect()
+        replies = await pool.snapshot(timeout=5.0)
+        assert sorted(replies) == [0, 1, 2]
+        assert replies[1].state_digest == "digest-1"
+        # The read path is repeatable: replicas are still serving.
+        again = await pool.snapshot(timeout=5.0)
+        assert sorted(again) == [0, 1, 2]
+        for replica in replicas:
+            assert [type(m).__name__ for m in replica.received] == [
+                "SnapshotRequest",
+                "SnapshotRequest",
+            ]
+            replica.close()
+        pool.close()
+
+    asyncio.run(scenario())
+
+
+def test_pool_excluded_replica_gets_no_frames_and_no_collect():
+    async def scenario():
+        replicas, addrs = await _fake_cluster(3)
+        pool = ReplicaPool(addrs)
+        await pool.connect()
+        pool.exclude(2)
+        pool.submit(_txn(0))
+        replies = await pool.collect(timeout=5.0)
+        assert sorted(replies) == [0, 1]
+        assert replicas[2].received == []
+        for replica in replicas:
+            replica.close()
+        pool.close()
+
+    asyncio.run(scenario())
+
+
+def test_pool_collect_skips_a_replica_that_dies_mid_request():
+    deaths = []
+
+    async def scenario():
+        replicas, addrs = await _fake_cluster(2)
+        pool = ReplicaPool(addrs, on_death=deaths.append)
+        await pool.connect()
+        # Replica 1 vanishes before the collect: its server stops
+        # accepting and its open connection is torn down.
+        replicas[1].close()
+        assert replicas[1].server is not None
+        replicas[1].server.close()
+        await replicas[1].server.wait_closed()
+        for conn in pool._conns.values():
+            if conn.node_id == 1 and conn.writer is not None:
+                conn.writer.close()
+        await _wait_for(lambda: 1 in deaths)
+        replies = await pool.collect(timeout=5.0)
+        assert sorted(replies) == [0]
+        replicas[0].close()
+        pool.close()
+
+    asyncio.run(scenario())

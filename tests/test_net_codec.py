@@ -48,12 +48,14 @@ from repro.net.codec import (
     MAX_FRAME,
     WIRE_CODEC,
     ClientSubmit,
+    ClientSubmitBatch,
     CodecError,
     CollectReply,
     CollectRequest,
     CommitAck,
     FrameBuffer,
     Hello,
+    SnapshotRequest,
     StartRun,
     WireCodec,
     wire_codec,
@@ -111,6 +113,10 @@ GENERATORS = {
         rng.randrange(0, 16), f"tx-{rng.randrange(1 << 20)}", rng.randrange(0, 500)
     ),
     CollectRequest: lambda rng: CollectRequest(),
+    SnapshotRequest: lambda rng: SnapshotRequest(),
+    ClientSubmitBatch: lambda rng: ClientSubmitBatch(
+        tuple(_txn(rng) for _ in range(rng.randrange(2, 9)))
+    ),
     CollectReply: lambda rng: CollectReply(
         node_id=rng.randrange(0, 16),
         chain=tuple(_block(rng) for _ in range(rng.randrange(0, 5))),
