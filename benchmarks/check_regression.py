@@ -35,11 +35,14 @@ where ``.bench-baseline/`` holds copies of the *committed*
 ``BENCH_scaling.json`` / ``BENCH_smr.json`` taken before the benches
 overwrote them.  ``--fresh-dir`` defaults to the repo root.
 
-Cells present on only one side are reported but never fail the gate
-(benchmarks evolve); only a matched cell that got slower can fail.
-Simulated-time metrics (latency in Δ, txns/Δ) are deliberately not
-gated here — they are deterministic, and the benches themselves assert
-their invariants.
+New cells (present only in the fresh run) are reported, never failed —
+benchmarks grow.  The reverse is a hard failure: a cell present in the
+committed baseline but **missing from the fresh run** means a cell was
+renamed or dropped, and silently passing would let any regression
+evade the gate by disappearing.  Refresh the committed baseline in the
+same PR when cells legitimately move.  Simulated-time metrics (latency
+in Δ, txns/Δ) are deliberately not gated here — they are
+deterministic, and the benches themselves assert their invariants.
 
 Override: set ``REPRO_ACCEPT_REGRESSION=1`` to report regressions
 without failing — for PRs that knowingly trade throughput for
@@ -67,6 +70,10 @@ GATED_GRIDS: tuple[tuple[str, str, tuple[str, ...], str], ...] = (
         "txns_per_sec",
     ),
     ("net", "net_smoke", ("engine", "workload", "scenario", "n"), "txns_per_sec"),
+    # Three-arm batching ablation (off / fixed / adaptive) on the
+    # capacity-bound cell: the arms are distinct engine names, so each
+    # arm's wall-clock rate is gated like any other cell.
+    ("net", "net_batching_ablation", ("engine", "workload", "scenario", "n"), "txns_per_sec"),
     # Gateway levels gate on paced throughput: only unsaturated rows
     # carry ``paced_tps`` (the arrival process pins it to the offered
     # rate), so the noisy capacity probes drop out of the gate.
@@ -200,7 +207,10 @@ def compare(
             notes.append(f"{label}: no baseline — skipping")
             continue
         if not isinstance(new, dict) or metric not in new:
-            notes.append(f"{label}: missing from fresh run")
+            regressions.append(
+                f"{label}: in committed baseline but missing from fresh run "
+                "— renamed or dropped? refresh the baseline in the same PR"
+            )
             continue
         judge(label, metric, float(base[metric]), float(new[metric]), gated=True)
 
@@ -213,7 +223,11 @@ def compare(
         for cell_id, (base_rate, base_wall) in sorted(baseline.items(), key=repr):
             label = f"{stem}/{key} {dict(zip(identity, cell_id))}"
             if cell_id not in fresh:
-                notes.append(f"{label}: missing from fresh run")
+                regressions.append(
+                    f"{label}: in committed baseline but missing from fresh "
+                    "run — renamed or dropped? refresh the baseline in the "
+                    "same PR"
+                )
                 continue
             rate, wall = fresh[cell_id]
             # Gate when EITHER side is measurably slow: two fast walls
@@ -235,7 +249,11 @@ def compare(
         for cell_id, (base_rate, _) in sorted(baseline.items(), key=repr):
             label = f"{stem}/{key} {dict(zip(identity, cell_id))}"
             if cell_id not in fresh:
-                notes.append(f"{label}: {metric} missing from fresh run")
+                regressions.append(
+                    f"{label}: {metric} in committed baseline but missing "
+                    "from fresh run — renamed or dropped? refresh the "
+                    "baseline in the same PR"
+                )
                 continue
             rate, _ = fresh[cell_id]
             judge(label, metric, base_rate, rate, gated=True, ceiling=True)

@@ -45,12 +45,12 @@ heavy = pytest.mark.skipif(
 
 
 def test_net_smoke(once, bench_record):
-    """Tier-1 slice of A7: n=4 over TCP, lan + crash, audited."""
+    """Tier-1 slice of A7: n=4 over TCP, lan + crash + capacity, audited."""
     rows = once(run_net_smoke)
     print()
     print(format_net_report(rows))
     assert {row.workload for row in rows} == set(NET_WORKLOADS)
-    assert {row.scenario for row in rows} == {"lan", "crash"}
+    assert {row.scenario for row in rows} == {"lan", "crash", "capacity"}
     for row in rows:
         cell = (row.workload, row.scenario)
         # The audit must pass over real sockets exactly as in
@@ -68,32 +68,57 @@ def test_net_smoke(once, bench_record):
     for row in crash_rows:
         # One replica was really SIGTERMed and the survivors finalized.
         assert len(row.killed) == 1, row.killed
+    capacity_rows = [row for row in rows if row.scenario == "capacity"]
+    assert capacity_rows, "the smoke slice must include the capacity cell"
+    for row in capacity_rows:
+        # The adaptive planes really ran: writes were coalesced and the
+        # CPU-duty instrumentation produced a real figure.  The >80%
+        # duty bound is asserted in the ablation (pinned regime); the
+        # smoke cell only proves the measurement plumbing end to end.
+        assert row.flushes > 0 and row.frames_per_flush >= 1.0, row.engine
+        assert 0.0 < row.busy_duty <= 1.5, row.busy_duty
     bench_record("net", "net_smoke", [net_record(row) for row in rows])
 
 
 @heavy
 def test_net_batching_ablation_n7(once, bench_record):
-    """Message-plane A/B over real sockets at n=7 (bursty, lan).
+    """Three-arm ablation (off / fixed / adaptive) on the
+    capacity-bound n=7 bursty cell.
 
-    Wall-clock rates on shared runners are too noisy to hard-assert a
-    speedup here — the committed ``net_batching_ablation`` record
-    carries the measured delta — but the structural facts must hold:
-    both rows audited safe+live with every txn committed, the batched
-    row really aggregating (>1 message per frame) and the unbatched
-    row really not (exactly 1).
+    Wall-clock rate *ordering* on shared runners is too noisy to
+    hard-assert — the committed ``net_batching_ablation`` record
+    carries the measured medians, and ROADMAP.md discusses the result
+    — but the structural facts must hold: every arm audited safe+live
+    with every txn committed; the cell really is capacity-bound
+    (>80% busy duty on the arms that run the measurement-era
+    transport); the off arm really does not aggregate (exactly 1
+    message per frame) while the batching arms never de-aggregate
+    below it.
     """
     rows = once(run_net_batching_ablation)
     print()
     print(format_net_report(rows))
-    batched, unbatched = rows
-    assert batched.engine == "tetrabft"
-    assert unbatched.engine == "tetrabft-nobatch"
+    off, fixed, adaptive = rows
+    assert off.engine == "tetrabft-nobatch"
+    assert fixed.engine == "tetrabft-fixed"
+    assert adaptive.engine == "tetrabft"
     for row in rows:
         assert row.safe and row.live, (row.engine, row.checks)
         assert row.committed == row.txns, row.engine
         assert row.txns_per_sec > 0, row.engine
-    assert batched.msgs_per_frame > 1.0
-    assert unbatched.msgs_per_frame == 1.0
+        # CPU-bound by construction: the replicas + driver keep the
+        # host's cores busy for most of the wall clock.  (The off arm
+        # idles a little more than the batching arms — per-arm this is
+        # a loose floor; the >80% bound is asserted on the cell below.)
+        assert row.busy_duty > 0.60, (row.engine, row.busy_duty)
+        # Writer-wakeup coalescing merges frames in every arm — that
+        # free aggregation is exactly why the hold has to measure its
+        # *marginal* gain (see ROADMAP.md).
+        assert row.frames_per_flush > 1.0, (row.engine, row.frames_per_flush)
+    assert max(row.busy_duty for row in rows) > 0.80, [r.busy_duty for r in rows]
+    assert off.msgs_per_frame == 1.0
+    assert fixed.msgs_per_frame >= off.msgs_per_frame
+    assert adaptive.msgs_per_frame >= off.msgs_per_frame
     bench_record("net", "net_batching_ablation", [net_record(row) for row in rows])
 
 

@@ -18,7 +18,15 @@ Scenarios:
   injected latencies, scaled by the cluster's ``time_scale``;
 * ``crash`` — ``lan`` plus one replica SIGTERMed halfway through the
   workload: n=4 tolerates f=1, so the survivors must still finalize
-  everything.
+  everything;
+* ``capacity`` — the capacity-bound cell: a Δ short enough (and links
+  fast enough) that replicas are CPU-bound by construction instead of
+  sleeping on the pacing clock.  The recorded ``busy_duty`` — summed
+  replica+driver CPU seconds over elapsed wall time × usable cores —
+  is the evidence: Δ-paced cells idle near 0, a capacity cell runs hot
+  (the heavy grid asserts > 0.8).  This is the only cell where the
+  batching/delayed-flush planes can show up as wall-clock txns/sec,
+  which is exactly what the three-arm ablation measures.
 
 Cross-validation is not optional: every cell's collected finalized
 chains, state digests and applied-transaction logs go through the same
@@ -55,7 +63,11 @@ from repro.verification.audit import SafetyAuditor
 #: n=7 is the smallest size tolerating f=2).
 NET_NS = (4, 7)
 
-NET_SCENARIOS = ("lan", "geo", "crash")
+NET_SCENARIOS = ("lan", "geo", "crash", "capacity")
+
+#: The link-geometry scenarios the heavy grid cross-products over
+#: (``capacity`` is its own targeted slice, not a geometry).
+NET_LINK_SCENARIOS = ("lan", "geo", "crash")
 
 NET_WORKLOADS = ("uniform", "bursty", "hotkey")
 
@@ -64,6 +76,15 @@ TIME_SCALE = 0.05
 
 #: Injected one-way link latency for the lan scenario, seconds.
 LAN_LATENCY = 0.002
+
+#: The capacity cell's pacing: Δ fifty times tighter than the lan
+#: scenario and near-bare-metal links, so the bottleneck is codec +
+#: dispatch + syscalls — the planes this bench ablates — not the Δ
+#: clock.  At this Δ the measured busy duty cycle clears 0.8 on a
+#: single-core host (leaders burn empty slots whenever the mempool
+#: idles, so the cluster is CPU-bound by construction).
+CAPACITY_TIME_SCALE = 0.001
+CAPACITY_LATENCY = 0.0002
 
 #: BENCH record, anchored at the repo root like the other BENCH files.
 BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_net.json"
@@ -93,6 +114,17 @@ class NetRow:
     #: them (one VoteBatch frame carries many votes).
     frames_in: int = 0
     messages_in: int = 0
+    #: Fraction of available CPU the run burned (replicas + driver over
+    #: elapsed × usable cores) — near 0 for Δ-paced cells, high when
+    #: the cell is capacity-bound.
+    busy_duty: float = 0.0
+    #: Summed transport delayed-flush counters across every replica's
+    #: peer lanes: socket writes, frames and bytes they carried, and
+    #: microseconds spent holding buffers for company.
+    flushes: int = 0
+    frames_flushed: int = 0
+    bytes_flushed: int = 0
+    held_us: int = 0
 
     @property
     def txns_per_sec(self) -> float:
@@ -105,6 +137,19 @@ class NetRow:
         if self.frames_in <= 0:
             return 0.0
         return self.messages_in / self.frames_in
+
+    @property
+    def frames_per_flush(self) -> float:
+        """Physical frames per socket write — the delayed-flush payoff."""
+        if self.flushes <= 0:
+            return 0.0
+        return self.frames_flushed / self.flushes
+
+    @property
+    def bytes_per_flush(self) -> float:
+        if self.flushes <= 0:
+            return 0.0
+        return self.bytes_flushed / self.flushes
 
     @property
     def verdict(self) -> str:
@@ -157,6 +202,12 @@ def run_net_cell(
     if scenario == "geo":
         overrides = geo_overrides(n, time_scale)
         latency = 0.8 * time_scale
+    elif scenario == "capacity":
+        # CPU-bound by construction: the Δ clock and the links are both
+        # much faster than the per-message work, so wall-clock rate
+        # measures the message path, not the pacing.
+        time_scale = min(time_scale, CAPACITY_TIME_SCALE)
+        latency = CAPACITY_LATENCY
     kill_after = None
     if scenario == "crash":
         # The highest id is never a low-slot leader: killing it stalls
@@ -201,17 +252,31 @@ def _row_from_result(
         checks=dict(report.checks),
         frames_in=sum(reply.frames_in for reply in result.replies.values()),
         messages_in=sum(reply.messages_in for reply in result.replies.values()),
+        busy_duty=result.busy_duty,
+        flushes=sum(
+            lane[1] for reply in result.replies.values() for lane in reply.flush_stats
+        ),
+        frames_flushed=sum(
+            lane[2] for reply in result.replies.values() for lane in reply.flush_stats
+        ),
+        bytes_flushed=sum(
+            lane[3] for reply in result.replies.values() for lane in reply.flush_stats
+        ),
+        held_us=sum(
+            lane[4] for reply in result.replies.values() for lane in reply.flush_stats
+        ),
     )
 
 
 def run_net_smoke(txns: int = 40, batch: int = 10) -> list[NetRow]:
     """The CI-sized slice: n=4 TetraBFT, every workload on lan, plus
-    the crash cell that demonstrates f=1 fault tolerance end to end
-    and the n=7 bursty cell (f=2, capacity-bound: the cell where
-    message-plane batching shows up as wall-clock throughput)."""
+    the crash cell that demonstrates f=1 fault tolerance end to end,
+    the n=7 bursty cell, and one cheap n=4 capacity cell so the
+    adaptive batching + delayed-flush path is exercised on every PR."""
     rows = [run_net_cell(workload, "lan", 4, txns=txns, batch=batch) for workload in NET_WORKLOADS]
     rows.append(run_net_cell("uniform", "crash", 4, txns=txns, batch=batch))
     rows.append(run_net_cell("bursty", "lan", 7, txns=txns, batch=batch))
+    rows.append(run_net_cell("bursty", "capacity", 4, txns=txns, batch=batch))
     return rows
 
 
@@ -221,45 +286,72 @@ def _median_by_rate(rows: list[NetRow]) -> NetRow:
     return ordered[len(ordered) // 2]
 
 
+#: The three ablation arms, worst to best expected: (record engine
+#: name, env knobs the replica processes inherit).  ``off`` strips
+#: both planes (PR 5's transport), ``fixed`` is PR 6's constant-cap
+#: batching with no transport hold, ``adaptive`` is this PR's default.
+ABLATION_ARMS = (
+    ("tetrabft-nobatch", {"REPRO_NO_BATCH": "1", "REPRO_NO_DELAY": "1"}),
+    ("tetrabft-fixed", {"REPRO_BATCH_POLICY": "fixed", "REPRO_NO_DELAY": "1"}),
+    ("tetrabft", {}),
+)
+
+#: Every env knob an ablation arm may set; scrubbed between arms.
+_ABLATION_KNOBS = ("REPRO_NO_BATCH", "REPRO_BATCH_POLICY", "REPRO_NO_DELAY")
+
+
 def run_net_batching_ablation(
     n: int = 7, txns: int = 50, batch: int = 10, repeats: int = 3
 ) -> list[NetRow]:
-    """Message-plane A/B over real sockets: the capacity-bound n=7
-    bursty cell with batching on (default) vs forced off via
-    ``REPRO_NO_BATCH=1`` in the replica processes' environment.
+    """Message-plane A/B/C over real sockets: the capacity-bound n=7
+    bursty cell with both planes off / fixed batching / adaptive
+    batching + delayed flush, selected via the replica processes'
+    inherited environment.
 
-    The wall-clock txns/sec delta between the two rows is what the
-    aggregation plane is worth end to end — fewer syscalls, fewer
-    frames, one codec pass per batch.  A single cluster run's rate
-    swings well past the effect size on a busy host, so each arm runs
-    ``repeats`` times and reports its median-rate row; the unbatched
-    row is renamed ``tetrabft-nobatch`` so both fit one record.
+    The wall-clock txns/sec deltas are what each plane is worth end to
+    end — fewer syscalls, fewer frames, one codec pass per batch.  A
+    single cluster run's rate swings well past the effect size on a
+    busy host, so arms are **interleaved** (one round runs all three,
+    so host drift hits every arm equally) over ``repeats`` rounds and
+    each arm reports its median-rate row.
     """
-    batched = _median_by_rate(
-        [run_net_cell("bursty", "lan", n, txns=txns, batch=batch) for _ in range(repeats)]
-    )
-    os.environ["REPRO_NO_BATCH"] = "1"
-    try:
-        unbatched = _median_by_rate(
-            [run_net_cell("bursty", "lan", n, txns=txns, batch=batch) for _ in range(repeats)]
-        )
-    finally:
-        del os.environ["REPRO_NO_BATCH"]
-    unbatched.engine = "tetrabft-nobatch"
-    return [batched, unbatched]
+    samples: dict[str, list[NetRow]] = {engine: [] for engine, _ in ABLATION_ARMS}
+    for _ in range(repeats):
+        for engine, env in ABLATION_ARMS:
+            saved = {knob: os.environ.pop(knob, None) for knob in _ABLATION_KNOBS}
+            os.environ.update(env)
+            try:
+                samples[engine].append(
+                    run_net_cell("bursty", "capacity", n, txns=txns, batch=batch)
+                )
+            finally:
+                for knob in _ABLATION_KNOBS:
+                    os.environ.pop(knob, None)
+                for knob, value in saved.items():
+                    if value is not None:
+                        os.environ[knob] = value
+    rows = []
+    for engine, _ in ABLATION_ARMS:
+        row = _median_by_rate(samples[engine])
+        row.engine = engine
+        rows.append(row)
+    return rows
 
 
 def run_net_grid(txns: int = 60, batch: int = 10) -> list[NetRow]:
-    """The heavy grid: n ∈ {4, 7} × workload × scenario for TetraBFT,
-    plus every chained baseline on the uniform/lan slice."""
+    """The heavy grid: n ∈ {4, 7} × workload × link scenario for
+    TetraBFT, every chained baseline on the uniform/lan slice, plus
+    the capacity-bound cells at both cluster sizes."""
     rows = [
         run_net_cell(workload, scenario, n, txns=txns, batch=batch)
         for n in NET_NS
         for workload in NET_WORKLOADS
-        for scenario in NET_SCENARIOS
+        for scenario in NET_LINK_SCENARIOS
     ]
     for engine in ("pbft", "ithotstuff", "li"):
         rows.append(run_net_cell("uniform", "lan", 4, engine=engine, txns=txns, batch=batch))
+    for n in NET_NS:
+        rows.append(run_net_cell("bursty", "capacity", n, txns=txns, batch=batch))
     return rows
 
 
@@ -285,6 +377,13 @@ def net_record(row: NetRow) -> dict:
         "frames_in": row.frames_in,
         "messages_in": row.messages_in,
         "msgs_per_frame": row.msgs_per_frame,
+        "busy_duty": row.busy_duty,
+        "flushes": row.flushes,
+        "frames_flushed": row.frames_flushed,
+        "bytes_flushed": row.bytes_flushed,
+        "held_us": row.held_us,
+        "frames_per_flush": row.frames_per_flush,
+        "bytes_per_flush": row.bytes_per_flush,
     }
 
 
@@ -308,6 +407,8 @@ def format_net_report(rows: list[NetRow]) -> str:
                 "txn/s": row.txns_per_sec,
                 "blk": row.blocks,
                 "msg/frm": row.msgs_per_frame,
+                "frm/wr": row.frames_per_flush,
+                "duty": row.busy_duty,
                 "verdict": row.verdict,
             }
             for row in rows
@@ -325,6 +426,8 @@ def format_net_report(rows: list[NetRow]) -> str:
             "txn/s",
             "blk",
             "msg/frm",
+            "frm/wr",
+            "duty",
             "verdict",
         ],
         title="A7 — deployed clusters over TCP (wall clock, audited)",
@@ -338,7 +441,7 @@ def main() -> None:  # pragma: no cover - CLI entry
     else:
         rows = run_net_smoke()
         key = "net_smoke"
-        print("(smoke slice: n=4 lan + crash — REPRO_HEAVY=1 for the full grid)")
+        print("(smoke slice: n=4 lan + crash + capacity — REPRO_HEAVY=1 for the full grid)")
     print(format_net_report(rows))
     write_net_records(rows, key)
     failed = [row for row in rows if not (row.safe and row.live)]

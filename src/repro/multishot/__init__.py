@@ -2,7 +2,10 @@
 
 from repro.multishot.batching import (
     MAX_BATCH,
+    AdaptiveBatchPolicy,
     BatchingContext,
+    FixedBatchPolicy,
+    batch_policy_from_env,
     batching_enabled,
     iter_logical,
 )
@@ -25,12 +28,14 @@ from repro.multishot.node import (
 )
 
 __all__ = [
+    "AdaptiveBatchPolicy",
     "BatchingContext",
     "Block",
     "BlockStore",
     "ChainState",
     "Digest",
     "FINALITY_WINDOW",
+    "FixedBatchPolicy",
     "GENESIS_DIGEST",
     "MAX_BATCH",
     "MSProof",
@@ -43,6 +48,7 @@ __all__ = [
     "MultiShotNode",
     "RETENTION_SLOTS",
     "VoteBatch",
+    "batch_policy_from_env",
     "batching_enabled",
     "default_payload",
     "iter_logical",

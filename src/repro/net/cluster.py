@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import multiprocessing
+import os
 import socket
 import time
 from dataclasses import dataclass, replace
@@ -98,6 +99,29 @@ class NetRunResult:
     measure_seconds: float
     #: Whether every live replica acked the full workload in time.
     completed: bool
+    #: Driver-process CPU seconds over the drive (submit + ack + collect).
+    driver_cpu_seconds: float = 0.0
+    #: Wall-clock seconds from first submit to collect completion.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def busy_duty(self) -> float:
+        """Fraction of available CPU the run actually burned.
+
+        ``(Σ replica cpu + driver cpu) / (elapsed × usable cores)``,
+        where usable cores is ``min(processes, os.cpu_count())`` — on a
+        saturated single-core host this reads ~1.0, and a Δ-paced cell
+        (everyone sleeping on timers) reads near 0.  The capacity-bound
+        bench cells assert this is high, i.e. the pipe, not the pacing
+        clock, is the bottleneck.
+        """
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        total_cpu = self.driver_cpu_seconds + sum(
+            reply.cpu_seconds for reply in self.replies.values()
+        )
+        lanes = min(len(self.replies) + 1, os.cpu_count() or 1)
+        return total_cpu / (self.elapsed_seconds * max(lanes, 1))
 
     @property
     def committed(self) -> int:
@@ -224,6 +248,7 @@ async def _drive(
         specs, time_scale=config.time_scale, on_ack=on_ack, on_death=on_death
     )
     await pool.connect()
+    drive_cpu0 = time.process_time()
     pool.start_run()
 
     killed: list[int] = []
@@ -290,6 +315,8 @@ async def _drive(
     )
     measure_end = correlator.last_ack_time or time.monotonic()
     measure_start = first_submit if first_submit is not None else t0
+    driver_cpu = time.process_time() - drive_cpu0
+    elapsed = time.monotonic() - t0
     return NetRunResult(
         injected=len(correlator.expected),
         latency_samples=correlator.latency_samples,
@@ -300,6 +327,8 @@ async def _drive(
         unexpected_deaths=unexpected,
         measure_seconds=max(measure_end - measure_start, 0.0),
         completed=completed,
+        driver_cpu_seconds=driver_cpu,
+        elapsed_seconds=elapsed,
     )
 
 

@@ -50,7 +50,9 @@ from repro.errors import ReproError
 #: changes incompatibly.  Decoders reject every other version.
 #: v2: VoteBatch envelope registered; CollectReply gained the
 #: frames_in/messages_in counters the bench layer reports.
-WIRE_VERSION = 2
+#: v3: CollectReply gained cpu_seconds/run_seconds (the capacity cell's
+#: busy-duty evidence) and per-peer delayed-flush counters.
+WIRE_VERSION = 3
 
 #: First byte of every frame body; guards against a stray TCP client.
 MAGIC = 0xB7
@@ -465,6 +467,12 @@ class CollectReply:
     (a :class:`~repro.multishot.messages.VoteBatch` is one frame, many
     messages).  Their ratio is the wire-level batching factor the bench
     layer reports as messages/frame.
+
+    ``cpu_seconds`` / ``run_seconds`` are the replica process's CPU and
+    wall time over its consensus run — the per-replica inputs to the
+    capacity cell's busy-duty-cycle assertion.  ``flush_stats`` carries
+    the transport's per-peer delayed-flush counters as
+    ``(peer_id, flushes, frames, bytes, held_us)`` tuples.
     """
 
     node_id: int
@@ -475,6 +483,9 @@ class CollectReply:
     txns_applied: int
     frames_in: int = 0
     messages_in: int = 0
+    cpu_seconds: float = 0.0
+    run_seconds: float = 0.0
+    flush_stats: tuple = ()  # tuple[tuple[int, int, int, int, int], ...]
 
 
 def wire_codec() -> WireCodec:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import time
 from dataclasses import dataclass
 
 from repro.core.config import ProtocolConfig
@@ -111,6 +112,8 @@ class ReplicaProcess:
         )
         self.ctx = NetContext(spec.node_id, self.transport, spec.time_scale)
         self._started = False
+        self._run_t0: float | None = None
+        self._cpu_t0 = 0.0
         self._pre_start: list[tuple[int, object]] = []
         self._frames_in = 0
         self._messages_in = 0
@@ -134,6 +137,9 @@ class ReplicaProcess:
         if self._started:
             return
         self._started = True
+        # Busy-duty evidence: CPU vs wall time from StartRun to collect.
+        self._run_t0 = time.monotonic()
+        self._cpu_t0 = time.process_time()
         self.ctx.start_clock()
         self.replica.start(self.ctx)
         backlog, self._pre_start = self._pre_start, []
@@ -150,6 +156,7 @@ class ReplicaProcess:
 
     def _collect_reply(self) -> CollectReply:
         replica = self.replica
+        started = self._run_t0 is not None
         return CollectReply(
             node_id=self.spec.node_id,
             chain=tuple(replica.finalized_chain),
@@ -159,6 +166,9 @@ class ReplicaProcess:
             txns_applied=self.trackers.throughput.txns_applied(self.spec.node_id),
             frames_in=self._frames_in,
             messages_in=self._messages_in,
+            cpu_seconds=time.process_time() - self._cpu_t0 if started else 0.0,
+            run_seconds=time.monotonic() - self._run_t0 if started else 0.0,
+            flush_stats=self.transport.flush_stats(),
         )
 
     # -- client server --------------------------------------------------------

@@ -1,0 +1,236 @@
+"""Unit contract of the adaptive/fixed chunk-cap policies.
+
+The :class:`~repro.multishot.batching.AdaptiveBatchPolicy` is the one
+controller shared by all three adaptive planes (engine batching,
+transport delayed flush, gateway submission batching), so its algebra
+is pinned here once: determinism (a pure function of the observation
+sequence), clamped bounds, hysteresis (no oscillation on flat load),
+patience-gated decay, and the fixed-mode reference arm that reproduces
+the historical constant byte-for-byte.  ``REPRO_BATCH_POLICY`` parsing
+is covered alongside because the env knob is the only selection
+surface the replica processes have.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multishot.batching import (
+    ADAPTIVE_HI,
+    ADAPTIVE_LO,
+    MAX_BATCH,
+    AdaptiveBatchPolicy,
+    BatchingContext,
+    FixedBatchPolicy,
+    batch_policy_from_env,
+)
+
+
+def limits_after(policy: AdaptiveBatchPolicy, observations) -> list[int]:
+    """The limit trajectory one observation sequence produces."""
+    trajectory = []
+    for occupancy in observations:
+        policy.observe(occupancy)
+        trajectory.append(policy.limit)
+    return trajectory
+
+
+class TestAdaptivePolicy:
+    def test_deterministic_replay(self):
+        """Same observation sequence, same limit trajectory — no clocks,
+        no randomness, nothing but the observations."""
+        observations = [1, 2, 8, 8, 1, 1, 1, 1, 32, 3, 1, 2, 64, 64, 1] * 10
+        a = limits_after(AdaptiveBatchPolicy(lo=2, hi=64, start=8), observations)
+        b = limits_after(AdaptiveBatchPolicy(lo=2, hi=64, start=8), observations)
+        assert a == b
+
+    def test_growth_doubles_and_clamps_at_hi(self):
+        policy = AdaptiveBatchPolicy(lo=1, hi=20, start=4)
+        policy.observe(4)
+        assert policy.limit == 8
+        policy.observe(8)
+        assert policy.limit == 16
+        policy.observe(16)
+        assert policy.limit == 20  # clamp, not 32
+        policy.observe(20)
+        assert policy.limit == 20
+
+    def test_decay_halves_and_clamps_at_lo(self):
+        # lo_band=0.5 so occupancy 1 is low pressure at every limit
+        # down to the clamp (with the default 0.25 band, 1 is *in* band
+        # once the limit reaches 4 — see the transport lanes, which
+        # pick wide bands for exactly this reason).
+        policy = AdaptiveBatchPolicy(
+            lo=3, hi=64, start=16, patience=1, lo_band=0.5, hi_band=0.9
+        )
+        policy.observe(1)
+        assert policy.limit == 8
+        policy.observe(1)
+        assert policy.limit == 4
+        policy.observe(1)
+        assert policy.limit == 3  # clamp, not 2
+        policy.observe(1)
+        assert policy.limit == 3
+
+    def test_start_is_clamped_into_bounds(self):
+        assert AdaptiveBatchPolicy(lo=4, hi=32, start=1).limit == 4
+        assert AdaptiveBatchPolicy(lo=4, hi=32, start=100).limit == 32
+        assert AdaptiveBatchPolicy(lo=4, hi=32).limit == 4  # default start=lo
+
+    def test_singleton_flush_is_never_growth_pressure(self):
+        """occupancy 1 trivially fills a limit-1 policy; growing on it
+        would make every idle lane ratchet upward."""
+        policy = AdaptiveBatchPolicy(lo=1, hi=64, start=1)
+        for _ in range(50):
+            policy.observe(1)
+        assert policy.limit == 1
+
+    def test_in_band_occupancy_never_moves_the_limit(self):
+        """Hysteresis: flat load inside the band is stable forever."""
+        policy = AdaptiveBatchPolicy(lo=1, hi=64, start=16)
+        # band at limit 16 (defaults): [0.25*16, 0.75*16) = [4, 12)
+        assert limits_after(policy, [8] * 200) == [16] * 200
+
+    def test_no_oscillation_after_growth(self):
+        """The occupancy that triggered growth sits inside the doubled
+        limit's band, so constant load settles instead of flapping."""
+        policy = AdaptiveBatchPolicy(lo=1, hi=64, start=8)
+        policy.observe(8)  # 8 >= 0.75*8 -> grow to 16
+        assert policy.limit == 16
+        # 8 is in [0.25*16, 0.75*16) = [4, 12): stable from here on.
+        assert limits_after(policy, [8] * 100) == [16] * 100
+
+    def test_decay_needs_patience_consecutive_lows(self):
+        policy = AdaptiveBatchPolicy(lo=1, hi=64, start=16, patience=3)
+        policy.observe(1)
+        policy.observe(1)
+        assert policy.limit == 16  # two lows, not enough
+        policy.observe(1)
+        assert policy.limit == 8  # third consecutive low decays
+
+    def test_in_band_observation_resets_the_low_streak(self):
+        policy = AdaptiveBatchPolicy(lo=1, hi=64, start=16, patience=2)
+        policy.observe(1)
+        policy.observe(8)  # in band: streak resets
+        policy.observe(1)
+        assert policy.limit == 16
+        policy.observe(1)
+        assert policy.limit == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchPolicy(lo=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchPolicy(lo=8, hi=4)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchPolicy(lo_band=0.8, hi_band=0.5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchPolicy(lo_band=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchPolicy(hi_band=1.5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchPolicy(patience=0)
+
+
+class TestFixedPolicy:
+    def test_limit_never_moves(self):
+        policy = FixedBatchPolicy(10)
+        for occupancy in (1, 100, 0, 10, 5000):
+            policy.observe(occupancy)
+            assert policy.limit == 10
+
+    def test_default_is_the_historical_constant(self):
+        assert FixedBatchPolicy().limit == MAX_BATCH
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ConfigurationError):
+            FixedBatchPolicy(0)
+
+    def test_fixed_mode_equivalence_with_saturated_adaptive(self):
+        """An adaptive policy pinned to [n, n] is the fixed policy: the
+        same limit on every step of any observation sequence."""
+        observations = [1, 2, 32, 32, 1, 1, 1, 1, 7, 64] * 5
+        pinned = AdaptiveBatchPolicy(lo=MAX_BATCH, hi=MAX_BATCH, start=MAX_BATCH)
+        fixed = FixedBatchPolicy(MAX_BATCH)
+        for occupancy in observations:
+            pinned.observe(occupancy)
+            fixed.observe(occupancy)
+            assert pinned.limit == fixed.limit == MAX_BATCH
+
+
+class TestEnvSelection:
+    def test_default_is_adaptive_seeded_at_the_constant(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_POLICY", raising=False)
+        policy = batch_policy_from_env()
+        assert isinstance(policy, AdaptiveBatchPolicy)
+        assert policy.limit == MAX_BATCH
+        assert (policy.lo, policy.hi) == (ADAPTIVE_LO, ADAPTIVE_HI)
+
+    def test_explicit_adaptive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_POLICY", "adaptive")
+        assert isinstance(batch_policy_from_env(), AdaptiveBatchPolicy)
+
+    def test_fixed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_POLICY", "fixed")
+        policy = batch_policy_from_env()
+        assert isinstance(policy, FixedBatchPolicy)
+        assert policy.limit == MAX_BATCH
+
+    def test_fixed_with_explicit_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_POLICY", "fixed:5")
+        policy = batch_policy_from_env()
+        assert isinstance(policy, FixedBatchPolicy)
+        assert policy.limit == 5
+
+    def test_fixed_with_garbage_cap_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_POLICY", "fixed:lots")
+        with pytest.raises(ConfigurationError):
+            batch_policy_from_env()
+
+    def test_unknown_policy_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_POLICY", "nagle")
+        with pytest.raises(ConfigurationError):
+            batch_policy_from_env()
+
+
+class _RecordingContext:
+    """Bare NodeContext stand-in that records broadcast payloads."""
+
+    node_id = 0
+    now = 0.0
+
+    def __init__(self):
+        self.broadcasts = []
+
+    def broadcast(self, message):
+        self.broadcasts.append(message)
+
+    def send(self, dst, message):
+        pass
+
+    def set_timer(self, delay, callback):
+        return None
+
+
+class TestBatchingContextPolicy:
+    def test_flush_chunks_at_the_policy_limit(self):
+        from repro.multishot.messages import VoteBatch
+
+        inner = _RecordingContext()
+        ctx = BatchingContext(inner, policy=FixedBatchPolicy(3))
+        for k in range(7):
+            ctx.broadcast(("m", k))
+        ctx.flush()
+        sizes = [
+            len(b.messages) if isinstance(b, VoteBatch) else 1 for b in inner.broadcasts
+        ]
+        assert sizes == [3, 3, 1]
+
+    def test_adaptive_policy_observes_flush_occupancy(self):
+        policy = AdaptiveBatchPolicy(lo=1, hi=64, start=4)
+        ctx = BatchingContext(_RecordingContext(), policy=policy)
+        for k in range(4):
+            ctx.broadcast(("m", k))
+        ctx.flush()  # occupancy 4 >= 0.75*4: the cap widens
+        assert policy.limit == 8

@@ -99,6 +99,40 @@ def test_batching_survives_view_changes_identically(engine):
         assert report.safe, (engine, report.violations)
 
 
+@pytest.mark.parametrize("engine", ("tetrabft", "pbft"))
+def test_adaptive_policy_is_byte_identical_to_fixed(engine, monkeypatch):
+    """The adaptive chunk cap is semantics-free like the plane itself:
+    REPRO_BATCH_POLICY=adaptive (the default) and =fixed (PR 6's
+    constant) produce byte-identical digests and chains, both
+    auditor-clean.  The policy only ever re-chunks a flush — it cannot
+    change what is delivered or when."""
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "adaptive")
+    adaptive, sim_adaptive = _run_cluster(engine, batching=True)
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "fixed")
+    fixed, _ = _run_cluster(engine, batching=True)
+    monkeypatch.delenv("REPRO_BATCH_POLICY")
+    default, _ = _run_cluster(engine, batching=True)
+    assert _fingerprint(adaptive) == _fingerprint(fixed), engine
+    assert _fingerprint(adaptive) == _fingerprint(default), engine
+    for replicas in (adaptive, fixed):
+        report = SafetyAuditor(expected_txns=TXNS).audit(replicas)
+        assert report.safe and report.live, (engine, report.violations)
+    # Aggregation still happened under the adaptive cap.
+    assert sim_adaptive.network.frames_sent <= sim_adaptive.network.messages_sent
+
+
+def test_adaptive_policy_survives_view_changes_identically(monkeypatch):
+    """Crash-recovery scenario under the adaptive cap: timer-driven
+    flushes and slot view changes still agree with the fixed arm."""
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "adaptive")
+    adaptive, _ = _run_cluster("tetrabft", batching=True, scenario="crash-recovery")
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "fixed")
+    fixed, _ = _run_cluster("tetrabft", batching=True, scenario="crash-recovery")
+    assert _fingerprint(adaptive) == _fingerprint(fixed)
+    report = SafetyAuditor().audit(adaptive)
+    assert report.safe, report.violations
+
+
 def test_env_escape_hatch_disables_batching(monkeypatch):
     """REPRO_NO_BATCH=1 is the documented kill switch: engines built
     with batching=None consult it at start() and run unbatched."""

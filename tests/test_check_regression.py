@@ -1,0 +1,160 @@
+"""The CI regression gate's comparison policy, pinned.
+
+``benchmarks/check_regression.py`` is what makes the committed
+BENCH_*.json trajectory binding, so its policy decisions get tests:
+slow gated cells fail, fast cells are reported but not gated, new
+cells are welcomed — and a cell present in the committed baseline but
+**missing from the fresh run** is a hard failure (a renamed or dropped
+cell must refresh the baseline in the same PR, otherwise any
+regression could evade the gate by disappearing).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _net_row(rate: float, scenario: str = "lan") -> dict:
+    return {
+        "engine": "tetrabft",
+        "workload": "uniform",
+        "scenario": scenario,
+        "n": 4,
+        "txns_per_sec": rate,
+        "wall_seconds": 1.0,  # comfortably above --min-wall: gated
+    }
+
+
+def _write(directory: Path, stem: str, records: dict) -> None:
+    (directory / f"BENCH_{stem}.json").write_text(json.dumps(records))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    fresh = tmp_path / "fresh"
+    baseline.mkdir()
+    fresh.mkdir()
+    return baseline, fresh
+
+
+def compare(baseline: Path, fresh: Path, threshold: float = 0.30):
+    return check_regression.compare(baseline, fresh, threshold, min_wall=0.05)
+
+
+def test_identical_records_pass(dirs):
+    baseline, fresh = dirs
+    records = {"net_smoke": [_net_row(100.0)]}
+    _write(baseline, "net", records)
+    _write(fresh, "net", records)
+    regressions, _ = compare(baseline, fresh)
+    assert regressions == []
+
+
+def test_slow_gated_cell_fails(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "net", {"net_smoke": [_net_row(100.0)]})
+    _write(fresh, "net", {"net_smoke": [_net_row(50.0)]})
+    regressions, _ = compare(baseline, fresh)
+    assert len(regressions) == 1 and "-50.0%" in regressions[0]
+
+
+def test_new_fresh_cell_is_a_note_not_a_failure(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "net", {"net_smoke": [_net_row(100.0)]})
+    _write(fresh, "net", {"net_smoke": [_net_row(100.0), _net_row(90.0, "capacity")]})
+    regressions, notes = compare(baseline, fresh)
+    assert regressions == []
+    assert any("new cell" in note for note in notes)
+
+
+def test_grid_cell_missing_from_fresh_run_hard_fails(dirs):
+    """The satellite contract: baseline cells cannot silently vanish."""
+    baseline, fresh = dirs
+    _write(baseline, "net", {"net_smoke": [_net_row(100.0), _net_row(90.0, "capacity")]})
+    _write(fresh, "net", {"net_smoke": [_net_row(100.0)]})
+    regressions, _ = compare(baseline, fresh)
+    assert len(regressions) == 1
+    assert "missing from fresh run" in regressions[0]
+    assert "capacity" in regressions[0]
+    assert "refresh the baseline" in regressions[0]
+
+
+def test_aggregate_missing_from_fresh_run_hard_fails(dirs):
+    baseline, fresh = dirs
+    _write(baseline, "smr", {"smr_hot_path_2x": {"txns_per_sec": 1000.0}})
+    _write(fresh, "smr", {})
+    regressions, _ = compare(baseline, fresh)
+    assert len(regressions) == 1
+    assert "smr_hot_path_2x" in regressions[0]
+    assert "missing from fresh run" in regressions[0]
+
+
+def test_ceiling_metric_missing_from_fresh_run_hard_fails(dirs):
+    baseline, fresh = dirs
+    row = {
+        "engine": "tetrabft",
+        "workload": "uniform",
+        "scenario": "sync",
+        "n": 4,
+        "messages_per_delay": 10.0,
+        "frames_per_delay": 5.0,
+    }
+    _write(baseline, "smr", {"smr_smoke": [row]})
+    _write(fresh, "smr", {"smr_smoke": []})
+    regressions, _ = compare(baseline, fresh)
+    # Both ceiling metrics of the vanished cell report the failure.
+    assert len(regressions) == 2
+    assert all("missing from fresh run" in line for line in regressions)
+
+
+def test_grown_ceiling_fails_and_shrunk_ceiling_passes(dirs):
+    baseline, fresh = dirs
+
+    def row(messages: float) -> dict:
+        return {
+            "engine": "tetrabft",
+            "workload": "uniform",
+            "scenario": "sync",
+            "n": 4,
+            "messages_per_delay": messages,
+        }
+
+    _write(baseline, "smr", {"smr_smoke": [row(10.0)]})
+    _write(fresh, "smr", {"smr_smoke": [row(20.0)]})
+    regressions, _ = compare(baseline, fresh)
+    assert len(regressions) == 1 and "[ceiling]" in regressions[0]
+    _write(fresh, "smr", {"smr_smoke": [row(5.0)]})
+    regressions, _ = compare(baseline, fresh)
+    assert regressions == []
+
+
+def test_no_baseline_at_all_skips(dirs):
+    baseline, fresh = dirs
+    _write(fresh, "net", {"net_smoke": [_net_row(100.0)]})
+    regressions, notes = compare(baseline, fresh)
+    assert regressions == []
+    assert any("no baseline" in note for note in notes)
+
+
+def test_main_exit_codes(dirs, monkeypatch, capsys):
+    baseline, fresh = dirs
+    _write(baseline, "net", {"net_smoke": [_net_row(100.0), _net_row(90.0, "geo")]})
+    _write(fresh, "net", {"net_smoke": [_net_row(100.0)]})
+    argv = ["--baseline-dir", str(baseline), "--fresh-dir", str(fresh)]
+    monkeypatch.delenv("REPRO_ACCEPT_REGRESSION", raising=False)
+    assert check_regression.main(argv) == 1
+    monkeypatch.setenv("REPRO_ACCEPT_REGRESSION", "1")
+    assert check_regression.main(argv) == 0
+    capsys.readouterr()

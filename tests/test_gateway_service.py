@@ -210,6 +210,51 @@ def test_batch_window_flushes_a_singleton_as_bare_submit():
     asyncio.run(scenario())
 
 
+def test_repro_no_batch_disables_submission_coalescing(monkeypatch):
+    """REPRO_NO_BATCH=1 means one thing repo-wide: the gateway must stop
+    coalescing ClientSubmitBatch frames, not just the engines."""
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+
+    async def scenario():
+        service, pool, _clock = _service(rate=1000.0, burst=1000.0, max_batch=3)
+        await service.start(start_consensus=False)
+        for i in range(3):
+            service.submit("alice", _txn(i))
+        assert len(pool.sent) == 3  # no buffering, no batch frame
+        assert all(isinstance(frame, ClientSubmit) for frame in pool.sent)
+        assert service.counters["flushes"] == 3
+        assert service.counters["flushed_txns"] == 3
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_gateway_window_shrinks_with_arrival_rate():
+    """The flush deadline tracks limit × observed inter-arrival gap,
+    capped at the configured batch_window."""
+    async def scenario():
+        service, pool, clock = _service(
+            rate=1000.0, burst=1000.0, max_batch=4, batch_window=0.005
+        )
+        await service.start(start_consensus=False)
+        # First arrival: no gap observed yet, window rests at the cap.
+        service.submit("alice", _txn(0))
+        assert service._window() == pytest.approx(0.005)
+        # Fast arrivals (0.1 ms apart): window = 4 × 0.1 ms = 0.4 ms.
+        for i in range(1, 4):
+            clock.advance(0.0001)
+            service.submit("alice", _txn(i))
+        assert service._window() < 0.005
+        # Slow arrivals drag the EWMA back up to the cap.
+        for i in range(4, 10):
+            clock.advance(1.0)
+            service.submit("alice", _txn(i))
+        assert service._window() == pytest.approx(0.005)
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
 def test_duplicate_txid_is_rejected_without_spending_tokens():
     async def scenario():
         service, _pool, _clock = _service(rate=10.0, burst=2.0)

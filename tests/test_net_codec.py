@@ -126,6 +126,18 @@ GENERATORS = {
         txns_applied=rng.randrange(0, 1000),
         frames_in=rng.randrange(0, 5000),
         messages_in=rng.randrange(0, 20000),
+        cpu_seconds=rng.random() * 10,
+        run_seconds=rng.random() * 20,
+        flush_stats=tuple(
+            (
+                peer,
+                rng.randrange(0, 500),
+                rng.randrange(0, 2000),
+                rng.randrange(0, 1 << 20),
+                rng.randrange(0, 1 << 20),
+            )
+            for peer in range(rng.randrange(0, 4))
+        ),
     ),
     VoteRecord: _vote_record,
     Block: _block,
@@ -243,17 +255,17 @@ def test_encoding_is_deterministic_across_codec_instances():
 
 
 def test_golden_frame_pins_the_wire_format():
-    """v2 bytes are a contract: changing them must bump WIRE_VERSION."""
-    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7020024490000000000000007"
+    """v3 bytes are a contract: changing them must bump WIRE_VERSION."""
+    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7030024490000000000000007"
     assert (
         WIRE_CODEC.encode_frame(MSVote(3, 1, "abcd")).hex()
-        == "0000001fb7020031490000000000000003490000000000000001530000000461626364"
+        == "0000001fb7030031490000000000000003490000000000000001530000000461626364"
     )
     # Aggregated frame: one envelope, two nested (C-tagged) messages.
     assert WIRE_CODEC.encode_frame(
         VoteBatch((MSVote(3, 1, "abcd"), MSViewChange(4, 2)))
     ).hex() == (
-        "0000003cb70200355500000002"
+        "0000003cb70300355500000002"
         "430031490000000000000003490000000000000001530000000461626364"
         "430032490000000000000004490000000000000002"
     )

@@ -238,3 +238,124 @@ def test_net_context_rejects_bad_time_scale():
     transport = NetTransport(0, HOST, allocate_ports(1)[0], {}, lambda s, m: None)
     with pytest.raises(ConfigurationError):
         NetContext(0, transport, time_scale=0.0)
+
+
+# -- delayed flush -------------------------------------------------------------
+
+
+def test_flush_critical_classification():
+    """Good-case traffic is delayable; timer-driven and recovery
+    traffic (and anything unknown) must bypass the hold."""
+    from repro.baselines.base import BPhaseVote, BProposal
+    from repro.baselines.chained import SlotMessage
+    from repro.multishot.block import Block
+    from repro.multishot.messages import MSProposal, MSViewChange
+    from repro.net.transport import flush_critical
+
+    block = Block.create(0, "parent", ("noop",))
+    assert not flush_critical(MSVote(1, 0, "aa"))
+    assert not flush_critical(MSProposal(1, 0, block))
+    assert not flush_critical(BProposal("pbft", 0, "v"))
+    assert not flush_critical(BPhaseVote("pbft", 0, 1, "v"))
+    # View changes are timer-driven: a peer may be blocked on them.
+    assert flush_critical(ViewChange(1))
+    assert flush_critical(MSViewChange(1, 0))
+    # Envelopes take the worst classification of their contents.
+    assert not flush_critical(VoteBatch((MSVote(1, 0, "aa"), MSVote(2, 0, "bb"))))
+    assert flush_critical(VoteBatch((MSVote(1, 0, "aa"), MSViewChange(2, 0))))
+    # Chained-baseline slot wrappers classify by their inner message.
+    assert not flush_critical(SlotMessage(3, BPhaseVote("pbft", 0, 1, "v")))
+    assert flush_critical(SlotMessage(3, ViewChange(1)))
+
+
+def test_repro_no_delay_escape_hatch(monkeypatch):
+    from repro.net.transport import delay_enabled
+
+    monkeypatch.delenv("REPRO_NO_DELAY", raising=False)
+    assert delay_enabled() is True
+    transport = NetTransport(0, HOST, allocate_ports(1)[0], {}, lambda s, m: None)
+    assert transport._delay is True
+    monkeypatch.setenv("REPRO_NO_DELAY", "1")
+    assert delay_enabled() is False
+    transport = NetTransport(0, HOST, allocate_ports(1)[0], {}, lambda s, m: None)
+    assert transport._delay is False
+
+
+def test_flush_window_zero_disables_the_hold():
+    transport = NetTransport(
+        0, HOST, allocate_ports(1)[0], {}, lambda s, m: None, flush_window=0.0
+    )
+    assert transport._delay is False
+
+
+def test_delayable_traffic_is_never_held_a_full_window():
+    """Liveness bound: even with an absurd 0.5 s flush window, a lone
+    delayable frame arrives promptly.  Two mechanisms guarantee it —
+    lanes idle at a frames-per-flush target of 1 (no hold at all until
+    holds demonstrably merge), and any hold that does run is
+    gap-bounded (FLUSH_GAP per wait), not window-bounded."""
+    inboxes = {0: [], 1: []}
+    ports = allocate_ports(2)
+
+    async def scenario():
+        transports = []
+        for node_id in (0, 1):
+            peer = 1 - node_id
+            transports.append(
+                NetTransport(
+                    node_id,
+                    HOST,
+                    ports[node_id],
+                    {peer: (HOST, ports[peer])},
+                    lambda sender, msg, nid=node_id: inboxes[nid].append((sender, msg)),
+                    flush_window=0.5,
+                )
+            )
+        a, b = transports
+        await a.start()
+        await b.start()
+        try:
+            await asyncio.sleep(0.1)  # lanes connected, queues idle
+            elapsed = []
+            for k in range(40):
+                t0 = time.monotonic()
+                a.send(1, MSVote(k, 0, "aa"))
+                await _wait_for(lambda want=k + 1: len(inboxes[1]) >= want)
+                elapsed.append(time.monotonic() - t0)
+            return elapsed
+        finally:
+            await a.stop()
+            await b.stop()
+
+    elapsed = asyncio.run(scenario())
+    # 40 sends cross a probe interval (32), so at least one of these
+    # flushes ran a real probe hold — and still came nowhere near the
+    # 0.5 s window.
+    assert max(elapsed) < 0.25, max(elapsed)
+
+
+def test_flush_stats_report_per_peer_counters():
+    inboxes = {0: [], 1: []}
+    ports = allocate_ports(2)
+
+    async def scenario():
+        a, b = _pair(ports, inboxes)
+        await a.start()
+        await b.start()
+        try:
+            for k in range(10):
+                a.send(1, MSVote(k, 0, "aa"))
+            await _wait_for(lambda: len(inboxes[1]) == 10)
+            return a.flush_stats()
+        finally:
+            await a.stop()
+            await b.stop()
+
+    stats = asyncio.run(scenario())
+    assert len(stats) == 1
+    peer_id, flushes, frames, nbytes, held_us = stats[0]
+    assert peer_id == 1
+    assert 0 < flushes <= 10
+    assert frames == 10
+    assert nbytes > 0
+    assert held_us >= 0
