@@ -45,12 +45,12 @@ heavy = pytest.mark.skipif(
 
 
 def test_net_smoke(once, bench_record):
-    """Tier-1 slice of A7: n=4 over TCP, lan + crash + capacity, audited."""
+    """Tier-1 slice of A7: n=4 over TCP, lan + crash + capacity + restart."""
     rows = once(run_net_smoke)
     print()
     print(format_net_report(rows))
     assert {row.workload for row in rows} == set(NET_WORKLOADS)
-    assert {row.scenario for row in rows} == {"lan", "crash", "capacity"}
+    assert {row.scenario for row in rows} == {"lan", "crash", "capacity", "restart"}
     for row in rows:
         cell = (row.workload, row.scenario)
         # The audit must pass over real sockets exactly as in
@@ -68,6 +68,17 @@ def test_net_smoke(once, bench_record):
     for row in crash_rows:
         # One replica was really SIGTERMed and the survivors finalized.
         assert len(row.killed) == 1, row.killed
+    restart_rows = [row for row in rows if row.scenario == "restart"]
+    assert restart_rows, "the smoke slice must include the kill-and-restart cell"
+    for row in restart_rows:
+        # The victim was killed, respawned over its data dir, replayed
+        # a nonzero prefix from snapshot+WAL, caught the rest up from
+        # peers, and converged to the survivors' byte-identical digest
+        # (state_agreement above covers the digest; converged pins that
+        # the rejoiner was present in the collected evidence).
+        assert row.killed == row.restarted and len(row.restarted) == 1, row
+        assert row.converged, row
+        assert row.recovered_blocks > 0, row.recovered_blocks
     capacity_rows = [row for row in rows if row.scenario == "capacity"]
     assert capacity_rows, "the smoke slice must include the capacity cell"
     for row in capacity_rows:

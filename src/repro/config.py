@@ -1,0 +1,142 @@
+"""The typed process-wide configuration surface (``REPRO_*`` env vars).
+
+Every behavioural escape hatch used to be a private ``os.environ``
+lookup buried in the module it toggled — batching in
+:mod:`repro.multishot.batching`, the delayed flush and the uvloop
+switch in :mod:`repro.net.transport`, the heavy-grid flag in each
+``eval`` CLI.  That sprawl made the knob set unenumerable: nothing
+stated which variables existed, which spellings counted as "on", or
+what the defaults were.  :class:`ReproConfig` is the one typed answer.
+
+Design constraints, in order:
+
+* **The old env vars are the interface.**  Every knob keeps its
+  historical name and its historical parse, byte for byte — a value
+  that toggled a flag before this module existed toggles it
+  identically now (equivalence-tested in ``tests/test_repro_config``).
+* **Read once, revalidated cheaply.**  :func:`repro_config` parses the
+  environment once and caches the frozen result; the cache is keyed on
+  a fingerprint of the raw variable values, so in-process env mutation
+  (the ablation harness swapping arms, tests monkeypatching) is picked
+  up without re-parsing on every call.  Replica subprocesses are
+  spawned fresh and parse their inherited environment independently.
+* **Knobs, not wiring.**  Structural parameters (ports, peer tables,
+  cluster shape) stay in the explicit spec/config dataclasses; this
+  surface carries only the cross-cutting behavioural switches.
+
+The durability knobs (``REPRO_DATA_DIR`` / ``REPRO_WAL_FSYNC_WINDOW``
+/ ``REPRO_SNAPSHOT_INTERVAL``) are new in this module: they default the
+:class:`~repro.storage.DiskStorage` parameters when a deployment opts
+into persistence without threading explicit values through.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Seconds one WAL group commit may hold appended records before the
+#: write+fsync — the durability window a crash can lose (the recovery
+#: path tolerates the torn tail this produces).
+DEFAULT_WAL_FSYNC_WINDOW = 0.005
+
+#: Finalized blocks between state snapshots (each snapshot compacts
+#: the WAL below its frontier).
+DEFAULT_SNAPSHOT_INTERVAL = 32
+
+#: Raw variables the config is parsed from, fingerprint order.
+_ENV_KEYS = (
+    "REPRO_NO_BATCH",
+    "REPRO_NO_DELAY",
+    "REPRO_NO_UVLOOP",
+    "REPRO_BATCH_POLICY",
+    "REPRO_HEAVY",
+    "REPRO_DATA_DIR",
+    "REPRO_WAL_FSYNC_WINDOW",
+    "REPRO_SNAPSHOT_INTERVAL",
+)
+
+
+def _flag(raw: str | None) -> bool:
+    """The historical tri-spelling switch: ``1``/``true``/``yes`` (any
+    case) is on, everything else — including unset — is off."""
+    return (raw or "").lower() in ("1", "true", "yes")
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """One immutable snapshot of every ``REPRO_*`` behavioural knob."""
+
+    #: ``REPRO_NO_BATCH`` — disable message-plane (and gateway
+    #: submission) batching; the A/B ablation's off switch.
+    no_batch: bool = False
+    #: ``REPRO_NO_DELAY`` — disable the transport's delayed flush.
+    no_delay: bool = False
+    #: ``REPRO_NO_UVLOOP`` — force the stock asyncio loop.
+    no_uvloop: bool = False
+    #: ``REPRO_BATCH_POLICY`` — raw policy selector (``adaptive`` /
+    #: ``fixed`` / ``fixed:<n>``); interpreted by
+    #: :func:`repro.multishot.batching.batch_policy_from_env`.
+    batch_policy: str = ""
+    #: ``REPRO_HEAVY`` — truthy string enables the full bench grids
+    #: (historically any non-empty value, not the flag spelling).
+    heavy: bool = False
+    #: ``REPRO_DATA_DIR`` — default per-process durability root; when
+    #: unset, replicas run with :class:`~repro.storage.MemoryStorage`.
+    data_dir: str | None = None
+    #: ``REPRO_WAL_FSYNC_WINDOW`` — WAL group-commit window, seconds.
+    wal_fsync_window: float = DEFAULT_WAL_FSYNC_WINDOW
+    #: ``REPRO_SNAPSHOT_INTERVAL`` — finalized blocks per snapshot.
+    snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL
+
+    @classmethod
+    def from_env(cls, env: os._Environ | dict[str, str] = os.environ) -> "ReproConfig":
+        """Parse one snapshot; each knob keeps its historical parse."""
+        raw_window = env.get("REPRO_WAL_FSYNC_WINDOW", "")
+        try:
+            window = float(raw_window) if raw_window else DEFAULT_WAL_FSYNC_WINDOW
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_WAL_FSYNC_WINDOW={raw_window!r}: needs a float (seconds)"
+            ) from None
+        raw_interval = env.get("REPRO_SNAPSHOT_INTERVAL", "")
+        try:
+            interval = int(raw_interval) if raw_interval else DEFAULT_SNAPSHOT_INTERVAL
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_SNAPSHOT_INTERVAL={raw_interval!r}: needs an integer (blocks)"
+            ) from None
+        if window < 0:
+            raise ConfigurationError(f"wal_fsync_window must be >= 0, got {window}")
+        if interval < 1:
+            raise ConfigurationError(f"snapshot_interval must be >= 1, got {interval}")
+        return cls(
+            no_batch=_flag(env.get("REPRO_NO_BATCH")),
+            no_delay=_flag(env.get("REPRO_NO_DELAY")),
+            no_uvloop=_flag(env.get("REPRO_NO_UVLOOP")),
+            batch_policy=env.get("REPRO_BATCH_POLICY", ""),
+            heavy=bool(env.get("REPRO_HEAVY")),
+            data_dir=env.get("REPRO_DATA_DIR") or None,
+            wal_fsync_window=window,
+            snapshot_interval=interval,
+        )
+
+
+_CACHE: tuple[tuple[str | None, ...], ReproConfig] | None = None
+
+
+def repro_config() -> ReproConfig:
+    """The process's current :class:`ReproConfig`, cached.
+
+    The cache is invalidated by comparing the raw values of every
+    :data:`_ENV_KEYS` variable — a tuple compare per call — so callers
+    may treat this as "read once" while tests and the ablation harness
+    keep mutating ``os.environ`` mid-process.
+    """
+    global _CACHE
+    fingerprint = tuple(os.environ.get(key) for key in _ENV_KEYS)
+    if _CACHE is None or _CACHE[0] != fingerprint:
+        _CACHE = (fingerprint, ReproConfig.from_env())
+    return _CACHE[1]

@@ -29,13 +29,13 @@ engine × scenario × n grid.
 
 from __future__ import annotations
 
-import os
 import random
 import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.config import repro_config
 from repro.adversary.faulty_engine import ATTACK_NAMES, ATTACKS, faulty_factory
 from repro.core import ProtocolConfig
 from repro.eval.report import format_table, merge_record
@@ -286,7 +286,7 @@ def format_attack_report(rows: list[AttackRow]) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI entry
-    if os.environ.get("REPRO_HEAVY"):
+    if repro_config().heavy:
         rows = run_attack_grid()
         key = "attack_grid"
     else:

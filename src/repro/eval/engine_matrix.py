@@ -30,8 +30,8 @@ engine × every workload, synchronous network, n=4); set
 
 from __future__ import annotations
 
-import os
 
+from repro.config import repro_config
 from repro.eval.report import format_table
 from repro.eval.smr_bench import SMR_SCENARIOS, SMRRow, WORKLOAD_NAMES, run_smr_bench
 from repro.smr import ENGINE_NAMES
@@ -127,7 +127,7 @@ def format_engine_report(rows: list[SMRRow]) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI entry
-    if os.environ.get("REPRO_HEAVY"):
+    if repro_config().heavy:
         rows = run_engine_matrix() + run_batching_ablation()
     else:
         rows = run_engine_smoke()

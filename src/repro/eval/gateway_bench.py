@@ -41,12 +41,12 @@ Results persist to ``BENCH_gateway.json`` (smoke key
 from __future__ import annotations
 
 import asyncio
-import os
 import random
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.config import repro_config
 from repro.errors import SimulationError
 from repro.eval.report import format_table, merge_record
 from repro.gateway.app import GatewayServer
@@ -513,7 +513,7 @@ def format_gateway_report(rows: list[GatewayRow]) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI entry
-    if os.environ.get("REPRO_HEAVY"):
+    if repro_config().heavy:
         results = [
             run_gateway_cell(n=n, clients=HEAVY_CLIENTS) for n in (4, 7)
         ]

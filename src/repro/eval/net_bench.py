@@ -27,6 +27,15 @@ Scenarios:
   (the heavy grid asserts > 0.8).  This is the only cell where the
   batching/delayed-flush planes can show up as wall-clock txns/sec,
   which is exactly what the three-arm ablation measures.
+* ``restart`` — the kill-and-restart cell: a durable (DiskStorage)
+  cluster, one replica SIGTERMed halfway through the workload and
+  respawned over its data dir at 75%.  The new process recovers its
+  snapshot + WAL, rejoins, catches up on the missed suffix via peer
+  state transfer, and must converge to the byte-identical state digest
+  the survivors report — the restarted replica's evidence goes through
+  the same SafetyAuditor as everyone else's, and the row additionally
+  records how many blocks came back from disk (``recovered_blocks``)
+  versus the network.
 
 Cross-validation is not optional: every cell's collected finalized
 chains, state digests and applied-transaction logs go through the same
@@ -44,9 +53,12 @@ cross-engine slice — under ``net_grid``).
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.config import repro_config
 from repro.eval.report import format_table, merge_record
 from repro.eval.scaling import _GEO_LATENCY, _GEO_REGIONS
 from repro.eval.smr_bench import build_workload
@@ -63,7 +75,7 @@ from repro.verification.audit import SafetyAuditor
 #: n=7 is the smallest size tolerating f=2).
 NET_NS = (4, 7)
 
-NET_SCENARIOS = ("lan", "geo", "crash", "capacity")
+NET_SCENARIOS = ("lan", "geo", "crash", "capacity", "restart")
 
 #: The link-geometry scenarios the heavy grid cross-products over
 #: (``capacity`` is its own targeted slice, not a geometry).
@@ -125,6 +137,15 @@ class NetRow:
     frames_flushed: int = 0
     bytes_flushed: int = 0
     held_us: int = 0
+    #: Replicas killed and respawned over their data dirs (restart cell).
+    restarted: tuple[int, ...] = ()
+    #: Whether every restarted replica came back, caught up, and
+    #: reported the same state digest as the survivors.  Trivially true
+    #: for cells that restart nothing.
+    converged: bool = True
+    #: Blocks the restarted replicas recovered from snapshot + WAL
+    #: (as opposed to re-fetched over the network).
+    recovered_blocks: int = 0
 
     @property
     def txns_per_sec(self) -> float:
@@ -153,11 +174,13 @@ class NetRow:
 
     @property
     def verdict(self) -> str:
-        if self.safe and self.live:
+        if not self.safe:
+            return "UNSAFE"
+        if not self.converged:
+            return "UNCONVERGED"
+        if self.live:
             return "safe+live"
-        if self.safe:
-            return "safe"
-        return "UNSAFE"
+        return "safe"
 
 
 def _wall_percentiles(samples: list[float]) -> dict[int, float]:
@@ -209,10 +232,31 @@ def run_net_cell(
         time_scale = min(time_scale, CAPACITY_TIME_SCALE)
         latency = CAPACITY_LATENCY
     kill_after = None
+    restart_after = None
+    data_dir = None
+    cleanup_dir = False
     if scenario == "crash":
         # The highest id is never a low-slot leader: killing it stalls
         # quorums, not every proposal, matching the simulated scenario.
         kill_after = (n - 1, 0.5)
+    elif scenario == "restart":
+        # Same victim and kill point as the crash cell, but the cluster
+        # is durable and the victim is respawned over its data dir at
+        # 75% of the workload: snapshot + WAL recovery, rejoin, peer
+        # catch-up for the missed suffix, byte-identical convergence.
+        kill_after = (n - 1, 0.5)
+        restart_after = 0.75
+        root = repro_config().data_dir
+        if root:
+            data_dir = os.path.join(root, f"net-{workload_name}-n{n}")
+        else:
+            data_dir = tempfile.mkdtemp(prefix="repro-net-restart-")
+            cleanup_dir = True
+        # A previous run's chain in the same dir would be a *different*
+        # history — recovery must start from this run's bytes only.
+        os.makedirs(data_dir, exist_ok=True)
+        for entry in os.listdir(data_dir):
+            shutil.rmtree(os.path.join(data_dir, entry), ignore_errors=True)
     config = ClusterConfig(
         n=n,
         engine=engine,
@@ -221,10 +265,16 @@ def run_net_cell(
         latency_overrides=overrides,
         batch=batch,
         deadline=deadline,
+        data_dir=data_dir,
     )
     schedule = schedule_from_workload(build_workload(workload_name, txns, batch, seed=seed))
-    result = run_cluster_workload(config, schedule, kill_after=kill_after)
-    return _row_from_result(engine, workload_name, scenario, n, result)
+    result = run_cluster_workload(
+        config, schedule, kill_after=kill_after, restart_after=restart_after
+    )
+    row = _row_from_result(engine, workload_name, scenario, n, result)
+    if cleanup_dir and row.safe and row.live and row.converged:
+        shutil.rmtree(data_dir, ignore_errors=True)
+    return row
 
 
 def _row_from_result(
@@ -234,6 +284,17 @@ def _row_from_result(
     percentiles = _wall_percentiles(result.latency_samples)
     blocks = min((reply.blocks_applied for reply in result.replies.values()), default=0)
     live = bool(report.live) and not result.unexpected_deaths
+    # Convergence evidence for the restart cell: every respawned
+    # replica must be back in the collected replies AND the whole
+    # cluster (rejoiner included) must agree on one state digest.
+    converged = True
+    recovered = 0
+    if result.restarted:
+        digests = {reply.state_digest for reply in result.replies.values()}
+        converged = all(r in result.replies for r in result.restarted) and len(digests) == 1
+        recovered = sum(
+            result.replies[r].recovered_blocks for r in result.restarted if r in result.replies
+        )
     return NetRow(
         engine=engine,
         workload=workload,
@@ -265,18 +326,23 @@ def _row_from_result(
         held_us=sum(
             lane[4] for reply in result.replies.values() for lane in reply.flush_stats
         ),
+        restarted=result.restarted,
+        converged=converged,
+        recovered_blocks=recovered,
     )
 
 
 def run_net_smoke(txns: int = 40, batch: int = 10) -> list[NetRow]:
     """The CI-sized slice: n=4 TetraBFT, every workload on lan, plus
     the crash cell that demonstrates f=1 fault tolerance end to end,
-    the n=7 bursty cell, and one cheap n=4 capacity cell so the
-    adaptive batching + delayed-flush path is exercised on every PR."""
+    the n=7 bursty cell, one cheap n=4 capacity cell so the adaptive
+    batching + delayed-flush path is exercised on every PR, and the
+    kill-and-restart cell proving snapshot+WAL recovery end to end."""
     rows = [run_net_cell(workload, "lan", 4, txns=txns, batch=batch) for workload in NET_WORKLOADS]
     rows.append(run_net_cell("uniform", "crash", 4, txns=txns, batch=batch))
     rows.append(run_net_cell("bursty", "lan", 7, txns=txns, batch=batch))
     rows.append(run_net_cell("bursty", "capacity", 4, txns=txns, batch=batch))
+    rows.append(run_net_cell("uniform", "restart", 4, txns=txns, batch=batch))
     return rows
 
 
@@ -352,6 +418,8 @@ def run_net_grid(txns: int = 60, batch: int = 10) -> list[NetRow]:
         rows.append(run_net_cell("uniform", "lan", 4, engine=engine, txns=txns, batch=batch))
     for n in NET_NS:
         rows.append(run_net_cell("bursty", "capacity", n, txns=txns, batch=batch))
+    for n in NET_NS:
+        rows.append(run_net_cell("uniform", "restart", n, txns=txns, batch=batch))
     return rows
 
 
@@ -384,6 +452,9 @@ def net_record(row: NetRow) -> dict:
         "held_us": row.held_us,
         "frames_per_flush": row.frames_per_flush,
         "bytes_per_flush": row.bytes_per_flush,
+        "restarted": list(row.restarted),
+        "converged": row.converged,
+        "recovered_blocks": row.recovered_blocks,
     }
 
 
@@ -435,16 +506,19 @@ def format_net_report(rows: list[NetRow]) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI entry
-    if os.environ.get("REPRO_HEAVY"):
+    if repro_config().heavy:
         rows = run_net_grid()
         key = "net_grid"
     else:
         rows = run_net_smoke()
         key = "net_smoke"
-        print("(smoke slice: n=4 lan + crash + capacity — REPRO_HEAVY=1 for the full grid)")
+        print(
+            "(smoke slice: n=4 lan + crash + capacity + restart — "
+            "REPRO_HEAVY=1 for the full grid)"
+        )
     print(format_net_report(rows))
     write_net_records(rows, key)
-    failed = [row for row in rows if not (row.safe and row.live)]
+    failed = [row for row in rows if not (row.safe and row.live and row.converged)]
     if failed:
         print(
             "FAILED cells: "

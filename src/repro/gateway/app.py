@@ -15,6 +15,11 @@ GET    ``/v1/metrics``              counters + latency percentiles
 GET    ``/v1/ws``                   WebSocket commit-event subscription
 ====== ============================ =======================================
 
+The pre-versioned bare paths (``/transactions``, ``/state/<key>``,
+``/chain``, ``/health``, ``/metrics``) survive as deprecated aliases:
+they are rewritten onto the ``/v1`` routes and answered with a
+``Deprecation: true`` header.  New clients must use ``/v1``.
+
 Every rejection is a structured JSON error envelope; rate-limited
 submissions carry a ``Retry-After`` header (429), capacity rejections a
 503, duplicate txids a 409.  Clients identify themselves with an
@@ -60,6 +65,26 @@ from repro.smr.mempool import Transaction
 
 #: KVStore operations a client may submit through the gateway.
 ALLOWED_OPS = ("set", "del", "incr", "noop")
+
+#: Bare-path roots from the pre-versioned API, still answered as
+#: aliases of their ``/v1`` successors.  Alias responses carry a
+#: ``Deprecation: true`` header (draft-ietf-httpapi-deprecation-header
+#: shape) so callers can find themselves before the aliases go away.
+DEPRECATED_ALIAS_ROOTS = ("/transactions", "/state", "/chain", "/health", "/metrics")
+
+
+def alias_to_v1(path: str) -> str | None:
+    """The ``/v1`` path a deprecated bare path maps to, or ``None``."""
+    for root in DEPRECATED_ALIAS_ROOTS:
+        if path == root or path.startswith(root + "/"):
+            return "/v1" + path
+    return None
+
+
+def _mark_deprecated(response: bytes) -> bytes:
+    """Inject the ``Deprecation`` header into a rendered response."""
+    head, sep, body = response.partition(b"\r\n\r\n")
+    return head + b"\r\nDeprecation: true" + sep + body
 
 
 def parse_transaction(payload: object) -> Transaction:
@@ -140,6 +165,21 @@ class GatewayServer:
     # -- HTTP routes ----------------------------------------------------------
 
     def _dispatch(self, request: Request, peer_id: str) -> bytes:
+        path, sep, query = request.path.partition("?")
+        alias = alias_to_v1(path)
+        if alias is not None:
+            request = Request(
+                method=request.method,
+                path=alias + sep + query,
+                headers=request.headers,
+                body=request.body,
+            )
+        response = self._dispatch_versioned(request, peer_id)
+        if alias is not None:
+            response = _mark_deprecated(response)
+        return response
+
+    def _dispatch_versioned(self, request: Request, peer_id: str) -> bytes:
         try:
             return self._route(request, peer_id)
         except ProtocolError as exc:

@@ -32,9 +32,10 @@ import asyncio
 import time
 from dataclasses import dataclass, field
 
+from repro.config import repro_config
 from repro.gateway.ratelimit import AdmissionController
 from repro.metrics.smr_trackers import nearest_rank_percentiles
-from repro.multishot.batching import AdaptiveBatchPolicy, batching_enabled
+from repro.multishot.batching import AdaptiveBatchPolicy
 from repro.net.client import AckCorrelator, ReplicaPool
 from repro.net.codec import CollectReply, CommitAck
 from repro.smr.mempool import Transaction
@@ -166,7 +167,7 @@ class GatewayService:
         #: REPRO_NO_BATCH=1 disables ClientSubmitBatch coalescing here
         #: exactly as it disables VoteBatch coalescing in the engines —
         #: the ablation knob means one thing repo-wide.
-        self._batching = batching_enabled()
+        self._batching = not repro_config().no_batch
         #: Same deterministic controller as the message plane, over
         #: submissions per flush: the threshold sits at ``max_batch``
         #: under sustained load and decays when flushes run light.

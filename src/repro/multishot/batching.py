@@ -52,9 +52,9 @@ way, which is what the equivalence suite pins.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable, Iterable
 
+from repro.config import repro_config
 from repro.errors import ConfigurationError
 from repro.multishot.messages import VoteBatch
 
@@ -182,7 +182,7 @@ def batch_policy_from_env() -> FixedBatchPolicy | AdaptiveBatchPolicy:
       exact behavior);
     * ``fixed:<n>`` — :class:`FixedBatchPolicy` at ``n``.
     """
-    raw = os.environ.get("REPRO_BATCH_POLICY", "").strip().lower()
+    raw = repro_config().batch_policy.strip().lower()
     if raw in ("", "adaptive"):
         return AdaptiveBatchPolicy(lo=ADAPTIVE_LO, hi=ADAPTIVE_HI, start=MAX_BATCH)
     if raw == "fixed":
@@ -206,7 +206,7 @@ def batching_enabled() -> bool:
     ``REPRO_NO_BATCH=1`` (or ``true``/``yes``) turns batching off for
     A/B comparisons without touching any call site.
     """
-    return os.environ.get("REPRO_NO_BATCH", "").lower() not in ("1", "true", "yes")
+    return not repro_config().no_batch
 
 
 def iter_logical(message: object) -> Iterable[object]:

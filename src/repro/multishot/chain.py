@@ -71,6 +71,35 @@ class ChainState:
     def finalized_height(self) -> int:
         return self.finalized[-1].slot if self.finalized else 0
 
+    def finalized_digest_at(self, slot: int) -> Digest | None:
+        """Digest finalized at ``slot``, or ``None`` (O(1) index hit)."""
+        return self._finalized_at.get(slot)
+
+    def bootstrap(self, blocks: tuple[Block, ...] | list[Block]) -> None:
+        """Install an already-finalized prefix (recovery from storage).
+
+        ``blocks`` must be a hash-linked chain starting at slot 1 —
+        recovery validated linkage and digests before trusting disk, and
+        this re-checks it because a malformed bootstrap would poison
+        every later fork check.  Only an empty (fresh) chain may be
+        bootstrapped: this rebuilds history, it does not merge it.
+        """
+        if self.finalized or self._notarized:
+            raise ProtocolViolation("bootstrap on a non-empty chain state")
+        parent = GENESIS_DIGEST
+        for i, block in enumerate(blocks):
+            if block.slot != i + 1 or block.parent != parent:
+                raise ProtocolViolation(
+                    f"bootstrap chain broken at slot {block.slot} "
+                    f"(expected slot {i + 1} extending {parent})"
+                )
+            parent = block.digest
+        self.finalized = list(blocks)
+        for block in blocks:
+            self._finalized_at[block.slot] = block.digest
+        if self.finalized_height > self._max_notarized:
+            self._max_notarized = self.finalized_height
+
     def prune_below(self, slot: int) -> None:
         """Drop notarization sets for slots below ``slot``.
 

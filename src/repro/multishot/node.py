@@ -190,10 +190,48 @@ class MultiShotNode(SimNode):
             self._batch_ctx = BatchingContext(ctx)
             ctx = self._batch_ctx
         self._ctx = ctx
-        self._start_slot(1)
-        self._maybe_propose(1)
+        # A fresh node starts at slot 1; a node bootstrapped from a
+        # recovered chain resumes at the first unfinalized slot.
+        first = self.chain.finalized_height + 1
+        self._start_slot(first)
+        self._maybe_propose(first)
         if self._batch_ctx is not None:
             self._batch_ctx.flush()
+
+    def bootstrap_finalized(self, blocks: tuple[Block, ...]) -> None:
+        """Install a recovered finalized prefix before :meth:`start`.
+
+        The blocks become chain history (bodies in the store, slots in
+        the finalized index) without any votes, notarization messages,
+        or finalize callbacks — the caller replays execution itself.
+        Must run on a fresh, unstarted node; :meth:`start` then resumes
+        consensus at the first unfinalized slot.
+        """
+        if self._ctx is not None:
+            raise ConfigurationError("bootstrap_finalized must run before start()")
+        for block in blocks:
+            self.store.add(block)
+        self.chain.bootstrap(blocks)
+
+    def offer_bodies(self, blocks: tuple[Block, ...]) -> None:
+        """Accept finalized block bodies fetched from a peer (catch-up).
+
+        State transfer only supplies *bodies*; finalization is still
+        proven by the live notarized run the node hears votes for — a
+        gap below that run finalizes in one chain walk the moment every
+        body in it is present (see ``ChainState._finalize_chain_to``),
+        and each newly finalized block flows through the normal
+        ``on_finalize`` callback.
+        """
+        added = False
+        for block in blocks:
+            if block.digest not in self.store:
+                self.store.add(block)
+                added = True
+        if added:
+            self._after_body_arrival()
+            if self._batch_ctx is not None:
+                self._batch_ctx.flush()
 
     def _start_slot(self, slot: int) -> None:
         if slot > self.config.max_slots:
@@ -254,6 +292,14 @@ class MultiShotNode(SimNode):
         slot, view, block = message.slot, message.view, message.block
         if slot < 1 or slot > self.config.max_slots:
             return
+        if slot <= self.chain.finalized_height:
+            # A proposal at or below our finalized tip is stale — a
+            # restarted peer resuming from older disk state.  Entertain
+            # it (our per-slot vote/proposal history there may already
+            # be pruned) and we could help notarize a conflicting
+            # lineage under the finalized chain; the rejoiner catches
+            # up via state transfer instead.
+            return
         if sender != self.config.leader_of(slot, view):
             return
         if block.slot != slot:
@@ -313,6 +359,13 @@ class MultiShotNode(SimNode):
         if prev_state.notarized_by_view:
             best_view = max(prev_state.notarized_by_view)
             return prev_state.notarized_by_view[best_view]
+        # A bootstrapped node has no per-slot vote history for its
+        # recovered prefix, but the finalized block *is* the notarized
+        # parent to extend (fallback only: a live slot's own
+        # notarizations always take precedence above).
+        finalized = self.chain.finalized_digest_at(slot - 1)
+        if finalized is not None:
+            return finalized
         prev_proposal = prev_state.proposals.get(prev_state.view)
         if prev_proposal is None:
             return None

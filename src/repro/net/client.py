@@ -171,7 +171,7 @@ class ReplicaConnection:
             pass
         finally:
             self.dead = True
-            self._pool._on_conn_death(self.node_id)
+            self._pool._on_conn_death(self)
 
     def close(self) -> None:
         if self._task is not None:
@@ -233,6 +233,30 @@ class ReplicaPool:
         when the orchestrator kills a replica on purpose."""
         self.live.discard(node_id)
 
+    async def readmit(self, node_id: int) -> None:
+        """Reconnect to a restarted replica and mark it live again.
+
+        The old connection (dead since the kill) is replaced by a fresh
+        one to the same address; the connect retries until the
+        restarted process opens its client port.  The stale read-loop's
+        death notification is ignored (it no longer owns the slot).
+        """
+        old = self._conns.get(node_id)
+        if old is None:
+            raise SimulationError(f"no replica {node_id} in this pool")
+        old.close()
+        conn = ReplicaConnection(node_id, old.host, old.port, self)
+        self._conns[node_id] = conn
+        await conn.connect(self.connect_timeout)
+        self.live.add(node_id)
+
+    def send_to(self, node_id: int, message: object) -> None:
+        """Send one frame to one specific replica (e.g. a targeted
+        StartRun at a readmitted process)."""
+        conn = self._conns.get(node_id)
+        if conn is not None and not conn.dead:
+            conn.send_frame(self.codec.encode_frame(message))
+
     def close(self) -> None:
         for conn in self._conns.values():
             conn.close()
@@ -277,7 +301,10 @@ class ReplicaPool:
             if waiter is not None and not waiter.done():
                 waiter.set_result(message)
 
-    def _on_conn_death(self, node_id: int) -> None:
+    def _on_conn_death(self, conn: "ReplicaConnection") -> None:
+        if self._conns.get(conn.node_id) is not conn:
+            return  # a replaced (readmitted-over) connection dying late
+        node_id = conn.node_id
         self.live.discard(node_id)
         waiter = self._reply_waiters.get(node_id)
         if waiter is not None and not waiter.done():

@@ -40,7 +40,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.client import AckCorrelator, ReplicaPool
-from repro.net.codec import WIRE_CODEC, ClientSubmit, CollectReply
+from repro.net.codec import WIRE_CODEC, ClientSubmit, CollectReply, StartRun
 from repro.net.replica_main import ReplicaSpec, run_replica
 from repro.smr.engine import ENGINE_NAMES
 from repro.smr.mempool import Transaction
@@ -67,6 +67,14 @@ class ClusterConfig:
     max_slots: int | None = 0
     #: Hard wall-clock deadline for the whole run, seconds.
     deadline: float = 30.0
+    #: Durability root: each replica persists under
+    #: ``<data_dir>/replica-<id>``.  ``None`` (default) runs every
+    #: replica on MemoryStorage — no persistence, no restart support.
+    data_dir: str | None = None
+    #: WAL group-commit window, seconds (durable clusters only).
+    wal_fsync_window: float = 0.005
+    #: Finalized blocks between snapshots (durable clusters only).
+    snapshot_interval: int = 32
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -103,6 +111,8 @@ class NetRunResult:
     driver_cpu_seconds: float = 0.0
     #: Wall-clock seconds from first submit to collect completion.
     elapsed_seconds: float = 0.0
+    #: Replicas killed and then restarted from their data dirs.
+    restarted: tuple[int, ...] = ()
 
     @property
     def busy_duty(self) -> float:
@@ -166,6 +176,14 @@ def build_specs(config: ClusterConfig) -> list[ReplicaSpec]:
             for other in range(config.n)
             if other != node_id
         )
+        client_addrs = tuple(
+            (other, config.host, client_ports[other])
+            for other in range(config.n)
+            if other != node_id
+        )
+        data_dir = None
+        if config.data_dir is not None:
+            data_dir = os.path.join(config.data_dir, f"replica-{node_id}")
         specs.append(
             ReplicaSpec(
                 node_id=node_id,
@@ -180,6 +198,10 @@ def build_specs(config: ClusterConfig) -> list[ReplicaSpec]:
                 latency_pairs=config.latency_overrides,
                 max_slots=config.max_slots,
                 batch=config.batch,
+                client_addrs=client_addrs,
+                data_dir=data_dir,
+                wal_fsync_window=config.wal_fsync_window,
+                snapshot_interval=config.snapshot_interval,
             )
         )
     return specs
@@ -232,6 +254,7 @@ async def _drive(
     schedule: list[tuple[float, Transaction]],
     processes: list,
     kill_after: tuple[int, float] | None,
+    restart_after: float | None = None,
 ) -> NetRunResult:
     correlator = AckCorrelator()
     correlator.track_nodes(range(config.n))
@@ -252,9 +275,13 @@ async def _drive(
     pool.start_run()
 
     killed: list[int] = []
+    restarted: list[int] = []
     kill_at_index = None
+    restart_at_index = None
     if kill_after is not None:
         kill_at_index = max(1, int(len(schedule) * kill_after[1]))
+        if restart_after is not None:
+            restart_at_index = max(kill_at_index + 1, int(len(schedule) * restart_after))
 
     def kill_victim() -> None:
         victim = kill_after[0]
@@ -262,11 +289,31 @@ async def _drive(
         killed.append(victim)
         pool.exclude(victim)
 
+    async def restart_victim() -> None:
+        """Respawn the killed replica over its data dir and readmit it.
+
+        The new process recovers snapshot+WAL before opening any
+        socket, rejoins the peer mesh (peer transports have been
+        retrying its address since the kill), and needs its own
+        StartRun — the original broadcast predates its birth.
+        """
+        victim = kill_after[0]
+        await asyncio.to_thread(processes[victim].join, 5.0)
+        ctx = multiprocessing.get_context("spawn")
+        process = ctx.Process(target=run_replica, args=(specs[victim],), daemon=True)
+        process.start()
+        processes[victim] = process
+        await pool.readmit(victim)
+        pool.send_to(victim, StartRun())
+        restarted.append(victim)
+
     t0 = time.monotonic()
     first_submit = None
     for index, (at, txn) in enumerate(schedule):
         if kill_at_index is not None and index == kill_at_index:
             kill_victim()
+        if restart_at_index is not None and index == restart_at_index and killed:
+            await restart_victim()
         wait = t0 + at * config.time_scale - time.monotonic()
         if wait > 0:
             await asyncio.sleep(wait)
@@ -280,11 +327,18 @@ async def _drive(
     # Kill scheduled past the end of the workload (fraction >= 1).
     if kill_at_index is not None and kill_at_index >= len(schedule) and not killed:
         kill_victim()
+    if restart_at_index is not None and killed and not restarted:
+        await restart_victim()
 
     deadline = t0 + config.deadline
     completed = False
+    # A readmitted replica re-acks only what it executes from its
+    # restart onward (its recovered prefix was tracker-suppressed), so
+    # workload completion is judged on the never-killed replicas; the
+    # rejoiner's convergence is checked separately below.
+    required = pool.live - set(killed)
     while time.monotonic() < deadline:
-        if correlator.all_acked(pool.live):
+        if correlator.all_acked(required):
             completed = True
             break
         progress.clear()
@@ -293,6 +347,17 @@ async def _drive(
             await asyncio.wait_for(progress.wait(), timeout=min(0.2, remaining))
         except asyncio.TimeoutError:
             pass
+
+    if restarted and completed:
+        # Convergence wait: poll the rejoiner's snapshot until it has
+        # applied the full workload (recovery replay + catch-up), or
+        # the deadline calls it a failure to converge.
+        while time.monotonic() < deadline:
+            snaps = await pool.snapshot(timeout=min(2.0, config.deadline / 4))
+            reply = snaps.get(restarted[0])
+            if reply is not None and correlator.expected <= set(reply.applied_txids):
+                break
+            await asyncio.sleep(0.1)
 
     # Collect evidence from every replica still standing.
     replies = await pool.collect()
@@ -329,6 +394,7 @@ async def _drive(
         completed=completed,
         driver_cpu_seconds=driver_cpu,
         elapsed_seconds=elapsed,
+        restarted=tuple(restarted),
     )
 
 
@@ -336,6 +402,7 @@ def run_cluster_workload(
     config: ClusterConfig,
     schedule: list[tuple[float, Transaction]],
     kill_after: tuple[int, float] | None = None,
+    restart_after: float | None = None,
 ) -> NetRunResult:
     """One full deployment run: spawn, drive, measure, collect, reap.
 
@@ -343,9 +410,21 @@ def run_cluster_workload(
     shape the simulated workloads yield; submit times are scaled by
     ``config.time_scale`` into wall clock.  ``kill_after=(node, frac)``
     SIGTERMs ``node`` once ``frac`` of the schedule has been submitted.
+    ``restart_after=frac`` respawns the killed replica over its data
+    dir once ``frac`` of the schedule has been submitted — requires
+    ``kill_after`` and a durable cluster (``config.data_dir``).
     """
     if kill_after is not None and not 0 <= kill_after[0] < config.n:
         raise ConfigurationError(f"kill victim {kill_after[0]} outside 0..{config.n - 1}")
+    if restart_after is not None:
+        if kill_after is None:
+            raise ConfigurationError("restart_after requires kill_after")
+        if config.data_dir is None:
+            raise ConfigurationError("restart_after requires a durable cluster (data_dir)")
+        if restart_after <= kill_after[1]:
+            raise ConfigurationError(
+                f"restart fraction {restart_after} must come after kill fraction {kill_after[1]}"
+            )
     if config.max_slots == 0:
         config = replace(config, max_slots=sized_max_slots(config, len(schedule)))
     # Port reservation is bind-then-close, so another process can steal
@@ -355,7 +434,9 @@ def run_cluster_workload(
     for attempt in (0, 1):
         with cluster_processes(config) as (specs, processes):
             try:
-                return asyncio.run(_drive(config, specs, schedule, processes, kill_after))
+                return asyncio.run(
+                    _drive(config, specs, schedule, processes, kill_after, restart_after)
+                )
             except SimulationError:
                 if attempt == 1:
                     raise

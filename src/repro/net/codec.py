@@ -52,7 +52,10 @@ from repro.errors import ReproError
 #: frames_in/messages_in counters the bench layer reports.
 #: v3: CollectReply gained cpu_seconds/run_seconds (the capacity cell's
 #: busy-duty evidence) and per-peer delayed-flush counters.
-WIRE_VERSION = 3
+#: v4: CollectReply gained recovered_blocks (restart-from-disk
+#: evidence); the durability frames (StateTransfer*, Wal*, Snapshot
+#: Image) registered.
+WIRE_VERSION = 4
 
 #: First byte of every frame body; guards against a stray TCP client.
 MAGIC = 0xB7
@@ -486,6 +489,92 @@ class CollectReply:
     cpu_seconds: float = 0.0
     run_seconds: float = 0.0
     flush_stats: tuple = ()  # tuple[tuple[int, int, int, int, int], ...]
+    #: Finalized blocks this replica restored from its data dir before
+    #: (re)joining consensus — nonzero proves a restart actually
+    #: replayed snapshot+WAL rather than resyncing everything.
+    recovered_blocks: int = 0
+
+
+@dataclass(frozen=True)
+class StateTransferRequest:
+    """Rejoining replica → peer: send your finalized blocks above
+    ``since_slot`` (the requester's local finalized height)."""
+
+    since_slot: int
+
+
+@dataclass(frozen=True)
+class StateTransferReply:
+    """Peer → rejoining replica: the requested finalized-chain suffix.
+
+    ``blocks`` is the peer's finalized blocks with slot > the request's
+    ``since_slot``, in slot order; ``tip_slot`` is the peer's finalized
+    height at reply time (so the requester knows whether another round
+    is needed).
+    """
+
+    node_id: int
+    tip_slot: int
+    blocks: tuple  # tuple[Block, ...]
+
+
+# -- durability records (WAL / snapshot file formats) -------------------------
+#
+# The on-disk formats of repro.storage reuse this codec verbatim: a WAL
+# is a stream of length-prefixed WalAppend/WalSeal frames, a snapshot
+# file is one SnapshotImage frame.  Reusing the wire codec buys the
+# storage layer determinism, versioning, and torn-tail detection
+# (a partial trailing frame fails the length/decode checks exactly like
+# a truncated TCP stream) for free.
+
+
+@dataclass(frozen=True)
+class WalAppend:
+    """One durably logged finalized block.
+
+    ``seq`` is the WAL's own monotone record counter (it survives
+    compaction, so replay order is checkable across rewrites); the
+    block's slot/digest carry the chain position.
+    """
+
+    seq: int
+    block: object  # a repro.multishot.block.Block
+
+
+@dataclass(frozen=True)
+class WalSeal:
+    """A durability checkpoint marker written at snapshot time.
+
+    Every record with ``seq`` <= this seal's ``seq`` is covered by the
+    snapshot whose state digest is recorded here; compaction drops
+    exactly those records.  A seal mid-log is therefore evidence of the
+    last snapshot the WAL was compacted against.
+    """
+
+    seq: int
+    upto_slot: int
+    state_digest: str
+
+
+@dataclass(frozen=True)
+class SnapshotImage:
+    """One complete recoverable replica state, atomically replacing the
+    previous snapshot file.
+
+    Carries the full finalized chain (not just the tip) so recovery is
+    self-contained after WAL compaction, plus the executed-state image:
+    ``kv_items`` as sorted ``(key, value)`` pairs and the applied-txid
+    frontier in application order.  ``state_digest`` must equal the
+    digest recomputed from the image — recovery rejects a snapshot that
+    disagrees with itself.
+    """
+
+    tip_slot: int
+    tip_digest: str
+    state_digest: str
+    applied_txids: tuple  # tuple[str, ...]
+    kv_items: tuple  # tuple[tuple[str, int], ...]
+    chain: tuple  # tuple[Block, ...]
 
 
 def wire_codec() -> WireCodec:
@@ -525,6 +614,8 @@ def wire_codec() -> WireCodec:
     codec.register(6, CollectReply)
     codec.register(7, SnapshotRequest)
     codec.register(8, ClientSubmitBatch)
+    codec.register(9, StateTransferRequest)
+    codec.register(10, StateTransferReply)
     # Shared nested structures.
     codec.register(16, VoteRecord)
     codec.register(17, Block)
@@ -550,6 +641,10 @@ def wire_codec() -> WireCodec:
     codec.register(67, BRound)
     codec.register(68, SlotMessage)
     codec.register(69, CatchUp)
+    # Durability records: the WAL and snapshot file formats.
+    codec.register(80, WalAppend)
+    codec.register(81, WalSeal)
+    codec.register(82, SnapshotImage)
     return codec
 
 

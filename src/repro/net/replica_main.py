@@ -44,11 +44,15 @@ from repro.net.codec import (
     FrameBuffer,
     SnapshotRequest,
     StartRun,
+    StateTransferReply,
+    StateTransferRequest,
 )
+from repro.net.client import REFERENCE_TIME_SCALE
 from repro.net.transport import LinkLatency, NetContext, NetTransport, install_uvloop
 from repro.smr.engine import engine_factory
 from repro.smr.mempool import Transaction
 from repro.smr.replica import Replica
+from repro.storage.api import MemoryStorage
 
 
 @dataclass(frozen=True)
@@ -68,9 +72,32 @@ class ReplicaSpec:
     latency_pairs: tuple[tuple[int, int, float], ...]
     max_slots: int | None
     batch: int
+    #: (peer id, host, *client* port) triples for every other replica —
+    #: the ports state-transfer catch-up fetches finalized chains from.
+    client_addrs: tuple[tuple[int, str, int], ...] = ()
+    #: Durability root for this replica; ``None`` runs MemoryStorage
+    #: (no persistence — the historical behavior).
+    data_dir: str | None = None
+    wal_fsync_window: float = 0.005
+    snapshot_interval: int = 32
 
     def build_latency(self) -> LinkLatency:
         return LinkLatency.from_pairs(self.latency_default, self.latency_pairs)
+
+    def build_storage(self):
+        """The spec's storage: DiskStorage under ``data_dir``, else memory."""
+        if self.data_dir is None:
+            return MemoryStorage()
+        # Imported here, not at module top: repro.storage.disk pulls the
+        # wire codec back in through repro.net, and this module sits on
+        # that cycle (net.cluster -> replica_main -> storage -> net).
+        from repro.storage.disk import DiskStorage
+
+        return DiskStorage(
+            self.data_dir,
+            wal_fsync_window=self.wal_fsync_window,
+            snapshot_interval=self.snapshot_interval,
+        )
 
 
 class _AckingTrackers(SMRTrackers):
@@ -95,12 +122,23 @@ class ReplicaProcess:
             spec.engine, ProtocolConfig.create(spec.n), max_slots=spec.max_slots
         )
         self.trackers = _AckingTrackers(self._ack_commit)
+        self.storage = spec.build_storage()
         self.replica = Replica(
             spec.node_id,
             max_batch=spec.batch,
             trackers=self.trackers,
             engine_factory=factory,
+            storage=self.storage,
         )
+        # Recovery happens before any socket opens: load the latest
+        # valid snapshot, replay the intact WAL suffix, and bootstrap
+        # the engine with the recovered prefix.  The delta the crash
+        # window lost is fetched from peers by the catch-up loop.
+        self._recovered_blocks = 0
+        recovered = self.storage.recover()
+        if recovered is not None:
+            self.replica.bootstrap(recovered.chain)
+            self._recovered_blocks = len(recovered.chain)
         self.transport = NetTransport(
             spec.node_id,
             spec.host,
@@ -120,6 +158,7 @@ class ReplicaProcess:
         self._current_slot = 0
         self._clients: list[asyncio.StreamWriter] = []
         self._done = asyncio.Event()
+        self._catch_up_task: asyncio.Task | None = None
 
     # -- consensus plumbing ---------------------------------------------------
 
@@ -145,6 +184,8 @@ class ReplicaProcess:
         backlog, self._pre_start = self._pre_start, []
         for sender, message in backlog:
             self.replica.receive(sender, message)
+        if self.spec.data_dir is not None and self.spec.client_addrs:
+            self._catch_up_task = asyncio.ensure_future(self._catch_up_loop())
 
     def _ack_commit(self, txid: str) -> None:
         executed = self.replica.executed_blocks
@@ -169,7 +210,90 @@ class ReplicaProcess:
             cpu_seconds=time.process_time() - self._cpu_t0 if started else 0.0,
             run_seconds=time.monotonic() - self._run_t0 if started else 0.0,
             flush_stats=self.transport.flush_stats(),
+            recovered_blocks=self._recovered_blocks,
         )
+
+    # -- state-transfer catch-up ----------------------------------------------
+
+    def _finalized_height(self) -> int:
+        chain = self.replica.finalized_chain
+        return chain[-1].slot if chain else 0
+
+    async def _catch_up_loop(self) -> None:
+        """Fetch the finalized gap from a peer whenever progress stalls.
+
+        Armed only on durable replicas: after a restart the recovered
+        chain ends where the last fsync did, and the live vote stream
+        alone cannot finalize across the missing bodies — peer state
+        transfer supplies exactly that delta.  While the tip advances
+        (a healthy replica in a healthy cluster) the loop never fetches.
+        """
+        interval = 0.2 * max(1.0, self.spec.time_scale / REFERENCE_TIME_SCALE)
+        last_height = self._finalized_height()
+        peer_index = 0
+        while not self._done.is_set():
+            await asyncio.sleep(interval)
+            height = self._finalized_height()
+            if height > last_height:
+                last_height = height
+                continue
+            addr = self.spec.client_addrs[peer_index % len(self.spec.client_addrs)]
+            peer_index += 1
+            try:
+                await asyncio.wait_for(
+                    self._state_transfer(addr, height), timeout=10 * interval
+                )
+            except (OSError, ConnectionError, CodecError, asyncio.TimeoutError):
+                continue  # that peer is down or slow; try the next one
+
+    async def _state_transfer(self, addr: tuple[int, str, int], since_slot: int) -> None:
+        """One fetch: ask ``addr`` for finalized blocks above ``since_slot``."""
+        peer_id, host, port = addr
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(self.codec.encode_frame(StateTransferRequest(since_slot=since_slot)))
+            await writer.drain()
+            buffer = FrameBuffer(self.codec)
+            reply: StateTransferReply | None = None
+            while reply is None:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                for message in buffer.feed(data):
+                    # The peer's client port also pushes CommitAcks at
+                    # everyone connected; skip anything but our reply.
+                    if isinstance(message, StateTransferReply):
+                        reply = message
+                        break
+        finally:
+            writer.close()
+        blocks = self._validate_transfer(reply.blocks, since_slot)
+        if blocks:
+            self.replica.offer_blocks(blocks)
+
+    @staticmethod
+    def _validate_transfer(blocks: tuple, since_slot: int) -> tuple:
+        """The longest trustworthy prefix of a peer's transfer reply.
+
+        Re-derives every digest and checks consecutive hash linkage —
+        a peer (or a bit flip) cannot smuggle in a body whose digest
+        does not match its content, and the engine's own chain walk
+        re-proves finalization before anything executes.
+        """
+        from repro.multishot.block import Block, _compute_digest
+
+        good = []
+        expected_slot = since_slot + 1
+        for block in blocks:
+            if not isinstance(block, Block) or block.slot != expected_slot:
+                break
+            if _compute_digest(block.slot, block.parent, block.payload) != block.digest:
+                break
+            if good and block.parent != good[-1].digest:
+                break
+            good.append(block)
+            expected_slot += 1
+        return tuple(good)
 
     # -- client server --------------------------------------------------------
 
@@ -193,6 +317,19 @@ class ReplicaProcess:
                                 self.replica.submit(txn)
                     elif isinstance(message, StartRun):
                         self._start_consensus()
+                    elif isinstance(message, StateTransferRequest):
+                        chain = self.replica.finalized_chain
+                        blocks = tuple(b for b in chain if b.slot > message.since_slot)
+                        writer.write(
+                            self.codec.encode_frame(
+                                StateTransferReply(
+                                    node_id=self.spec.node_id,
+                                    tip_slot=chain[-1].slot if chain else 0,
+                                    blocks=blocks,
+                                )
+                            )
+                        )
+                        await writer.drain()
                     elif isinstance(message, SnapshotRequest):
                         # Read path: answer with the same evidence shape
                         # as a collect, but stay in consensus.
@@ -220,10 +357,13 @@ class ReplicaProcess:
         try:
             await self._done.wait()
         finally:
+            if self._catch_up_task is not None:
+                self._catch_up_task.cancel()
             self.ctx.cancel_timers()
             server.close()
             await server.wait_closed()
             await self.transport.stop()
+            self.storage.close()
 
 
 def run_replica(spec: ReplicaSpec) -> None:
@@ -237,7 +377,19 @@ def run_replica(spec: ReplicaSpec) -> None:
 
 
 if __name__ == "__main__":  # pragma: no cover - debugging aid
+    import argparse
     import pickle
-    import sys
+    from dataclasses import replace as _replace
 
-    run_replica(pickle.loads(bytes.fromhex(sys.argv[1])))
+    parser = argparse.ArgumentParser(description="run one replica process")
+    parser.add_argument("spec_hex", help="hex-pickled ReplicaSpec")
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="override the spec's durability root (restart-from-disk runs)",
+    )
+    cli = parser.parse_args()
+    spec = pickle.loads(bytes.fromhex(cli.spec_hex))
+    if cli.data_dir is not None:
+        spec = _replace(spec, data_dir=cli.data_dir)
+    run_replica(spec)

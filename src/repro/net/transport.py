@@ -51,6 +51,7 @@ import asyncio
 import logging
 from collections.abc import Callable
 
+from repro.config import repro_config
 from repro.errors import ConfigurationError
 from repro.metrics.collectors import RunMetrics
 from repro.multishot.batching import AdaptiveBatchPolicy
@@ -70,9 +71,7 @@ def install_uvloop() -> bool:
     asyncio remains in charge.  Set ``REPRO_NO_UVLOOP=1`` to force the
     stock loop even where uvloop is available (A/B timing runs).
     """
-    import os
-
-    if os.environ.get("REPRO_NO_UVLOOP", "").lower() in ("1", "true", "yes"):
+    if repro_config().no_uvloop:
         return False
     try:
         import uvloop
@@ -131,9 +130,7 @@ def delay_enabled() -> bool:
     flush on its own wakeup — the PR 6 transport behavior — for A/B
     runs and latency-sensitive deployments.
     """
-    import os
-
-    return os.environ.get("REPRO_NO_DELAY", "").lower() not in ("1", "true", "yes")
+    return not repro_config().no_delay
 
 
 _DELAYABLE_TYPES: tuple[type, ...] | None = None

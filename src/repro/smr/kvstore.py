@@ -72,6 +72,10 @@ class KVStore:
     def applied_txids(self) -> list[str]:
         return list(self._applied)
 
+    def items(self) -> list[tuple[str, Any]]:
+        """The map's entries, sorted — the snapshot/digest image order."""
+        return sorted(self._data.items())
+
     def state_digest(self) -> str:
         """Order-independent digest of the current map plus the applied
         log order — two replicas agree iff their digests agree."""

@@ -39,6 +39,7 @@ from repro.smr.engine import ConsensusEngine, EngineFactory, multishot_engine
 from repro.sim.runner import NodeContext, SimNode
 from repro.smr.kvstore import KVStore
 from repro.smr.mempool import Mempool, Transaction
+from repro.storage.api import MemoryStorage, ReplicaStorage
 
 
 class InFlightIndex:
@@ -125,6 +126,7 @@ class Replica(SimNode):
         max_batch: int = 100,
         trackers: SMRTrackers | None = None,
         engine_factory: EngineFactory | None = None,
+        storage: "ReplicaStorage | None" = None,
     ) -> None:
         if engine_factory is None:
             if config is None:
@@ -133,11 +135,15 @@ class Replica(SimNode):
                     "TetraBFT engine) or an explicit engine_factory"
                 )
             engine_factory = multishot_engine(config)
+        if storage is None:
+            storage = MemoryStorage()
         self.node_id = node_id
         self.mempool = Mempool(max_batch=max_batch)
         self.store = KVStore()
         self.executed_blocks: list[Block] = []
         self.trackers = trackers
+        self.storage = storage
+        self._restoring = False
         self._ctx: NodeContext | None = None
         self._pre_start_txids: list[str] = []
         self.consensus: ConsensusEngine = engine_factory(
@@ -181,6 +187,57 @@ class Replica(SimNode):
     def state_digest(self) -> str:
         return self.store.state_digest()
 
+    # -- durability / recovery ------------------------------------------------
+
+    def bootstrap(self, blocks: list[Block] | tuple[Block, ...]) -> None:
+        """Restore a recovered finalized prefix before joining consensus.
+
+        Installs ``blocks`` (a hash-linked chain from slot 1, e.g. a
+        :class:`~repro.storage.api.RecoveredState`'s) into the engine as
+        already-finalized history, then re-executes them through the
+        normal execution path so the kvstore, dedup ledger, and
+        in-flight index are rebuilt exactly as a live run would have
+        built them.  Trackers and the storage hook are suppressed during
+        the replay: these blocks were already recorded (and persisted)
+        in a previous life.
+        """
+        if self._ctx is not None:
+            raise ConfigurationError("bootstrap must run before the replica starts")
+        if not blocks:
+            return
+        bootstrap_fn = getattr(self.consensus, "bootstrap_finalized", None)
+        if bootstrap_fn is None:
+            raise ConfigurationError(
+                f"engine {type(self.consensus).__name__} does not support "
+                "bootstrap from a recovered chain"
+            )
+        bootstrap_fn(tuple(blocks))
+        self._restoring = True
+        try:
+            for block in blocks:
+                self._execute_block(block)
+        finally:
+            self._restoring = False
+
+    def offer_blocks(self, blocks: list[Block] | tuple[Block, ...]) -> int:
+        """Hand validated finalized blocks from a peer to the engine.
+
+        The state-transfer catch-up path: the engine takes the bodies,
+        re-checks finalization, and executes whatever newly chains to
+        its tip via the normal callbacks (so these blocks *are* acked,
+        tracked, and persisted — unlike a :meth:`bootstrap` replay).
+        Returns how many slots the finalized tip advanced.
+        """
+        offer_fn = getattr(self.consensus, "offer_bodies", None)
+        if offer_fn is None:
+            raise ConfigurationError(
+                f"engine {type(self.consensus).__name__} does not support "
+                "state-transfer body offers"
+            )
+        before = len(self.consensus.finalized_chain)
+        offer_fn(tuple(blocks))
+        return len(self.consensus.finalized_chain) - before
+
     # -- consensus callbacks --------------------------------------------------------
 
     def _make_payload(self, slot: int, parent: str) -> object:
@@ -203,7 +260,12 @@ class Replica(SimNode):
         self.in_flight.mark_finalized(block)
         payload = block.payload
         if not isinstance(payload, tuple):
-            return  # e.g. a synthetic payload from a non-SMR proposer
+            # e.g. a synthetic payload from a non-SMR proposer: nothing
+            # to apply, but the block is chain history and must still be
+            # durably logged or recovery would find a gap.
+            if not self._restoring:
+                self.storage.block_executed(block, self)
+            return
         applied_ids = []
         for txn in payload:
             if not isinstance(txn, Transaction):
@@ -213,6 +275,9 @@ class Replica(SimNode):
             self.store.apply(txn.txid, txn.op)
             applied_ids.append(txn.txid)
         self.mempool.mark_finalized(applied_ids)
+        if self._restoring:
+            return  # recovery replay: already persisted and tracked
+        self.storage.block_executed(block, self)
         if self.trackers is not None:
             now = self._ctx.now if self._ctx is not None else 0.0
             self.trackers.record_block(

@@ -1,0 +1,58 @@
+"""Per-replica durability behind the :class:`ReplicaStorage` protocol.
+
+See :mod:`repro.storage.api` for the seam, :mod:`repro.storage.wal` and
+:mod:`repro.storage.snapshots` for the two file formats, and
+:mod:`repro.storage.disk` for the durable implementation that combines
+them.  :class:`MemoryStorage` is the default (persist nothing — the
+historical behavior, byte for byte).
+
+The disk-backed names are resolved lazily (PEP 562): their modules
+serialize through :mod:`repro.net.codec`, and importing that eagerly
+from here would close an import cycle (``smr.replica`` → this package →
+``disk`` → ``net`` → ``replica_main`` → ``smr.replica``).  The protocol
+seam and :class:`MemoryStorage` — all the core ``smr`` layer needs —
+stay eager and codec-free.
+"""
+
+from importlib import import_module
+
+from repro.storage.api import MemoryStorage, RecoveredState, ReplicaStorage
+
+#: name → submodule holding it, for lazy resolution.
+_LAZY = {
+    "DiskStorage": "repro.storage.disk",
+    "WAL_NAME": "repro.storage.disk",
+    "SNAPSHOT_NAME": "repro.storage.snapshots",
+    "load_snapshot": "repro.storage.snapshots",
+    "snapshot_image": "repro.storage.snapshots",
+    "state_digest_of": "repro.storage.snapshots",
+    "validate_snapshot": "repro.storage.snapshots",
+    "write_snapshot": "repro.storage.snapshots",
+    "WriteAheadLog": "repro.storage.wal",
+    "read_wal": "repro.storage.wal",
+}
+
+__all__ = [
+    "DiskStorage",
+    "MemoryStorage",
+    "RecoveredState",
+    "ReplicaStorage",
+    "SNAPSHOT_NAME",
+    "WAL_NAME",
+    "WriteAheadLog",
+    "load_snapshot",
+    "read_wal",
+    "snapshot_image",
+    "state_digest_of",
+    "validate_snapshot",
+    "write_snapshot",
+]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value

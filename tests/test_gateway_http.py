@@ -13,7 +13,7 @@ import asyncio
 
 import pytest
 
-from repro.gateway.app import GatewayServer, parse_transaction
+from repro.gateway.app import GatewayServer, alias_to_v1, parse_transaction
 from repro.gateway.http import (
     HTTPClient,
     ProtocolError,
@@ -260,6 +260,59 @@ def test_ws_slow_consumer_is_closed_with_1013():
         assert service.subscriptions == []
         ws.close()
         http.close()
+        await service.stop()
+        await server.stop()
+
+    run(scenario)
+
+
+# -- deprecated bare-path aliases ---------------------------------------------
+
+
+def test_alias_to_v1_mapping():
+    assert alias_to_v1("/transactions") == "/v1/transactions"
+    assert alias_to_v1("/transactions/t1") == "/v1/transactions/t1"
+    assert alias_to_v1("/state/k") == "/v1/state/k"
+    assert alias_to_v1("/health") == "/v1/health"
+    assert alias_to_v1("/v1/health") is None  # already versioned
+    assert alias_to_v1("/nope") is None
+    assert alias_to_v1("/statements") is None  # prefix, not a path segment
+
+
+def test_bare_paths_alias_to_v1_with_deprecation_header():
+    async def scenario():
+        server, service, pool = await _started_server(rate=1000.0, burst=1000.0)
+        client = HTTPClient(server.host, server.port)
+        accepted = await client.request(
+            "POST", "/transactions", payload=_submission(0), headers={"x-client-id": "a"}
+        )
+        assert accepted.status == 202
+        assert accepted.headers.get("deprecation") == "true"
+        # Byte-equal payload to the versioned route, header aside.
+        versioned = await client.request("GET", "/v1/transactions/t0")
+        bare = await client.request("GET", "/transactions/t0")
+        assert bare.status == versioned.status == 200
+        assert bare.json() == versioned.json()
+        assert bare.headers.get("deprecation") == "true"
+        assert "deprecation" not in versioned.headers
+        for path in ("/chain", "/health", "/metrics"):
+            versioned_twin = await client.request("GET", "/v1" + path)
+            response = await client.request("GET", path)
+            assert response.status == versioned_twin.status, path
+            assert response.json() == versioned_twin.json(), path
+            assert response.headers.get("deprecation") == "true", path
+            assert "deprecation" not in versioned_twin.headers, path
+        # Errors on an aliased path carry the header too (no snapshot
+        # ingested in this stub setup, so the read is a 503).
+        missing = await client.request("GET", "/state/absent")
+        assert missing.status == 503
+        assert missing.json()["error"]["code"] == "snapshot_unavailable"
+        assert missing.headers.get("deprecation") == "true"
+        # Unknown bare paths stay plain 404s, no alias involved.
+        unknown = await client.request("GET", "/nope")
+        assert unknown.status == 404
+        assert "deprecation" not in unknown.headers
+        client.close()
         await service.stop()
         await server.stop()
 

@@ -55,8 +55,13 @@ from repro.net.codec import (
     CommitAck,
     FrameBuffer,
     Hello,
+    SnapshotImage,
     SnapshotRequest,
     StartRun,
+    StateTransferReply,
+    StateTransferRequest,
+    WalAppend,
+    WalSeal,
     WireCodec,
     wire_codec,
 )
@@ -105,6 +110,23 @@ def _vote_batch(rng: random.Random) -> VoteBatch:
     return VoteBatch(tuple(rng.choice(inner)(rng) for _ in range(rng.randrange(2, 9))))
 
 
+def _snapshot_image(rng: random.Random) -> SnapshotImage:
+    """A structurally plausible snapshot (codec round-trips do not
+    require hash-valid chains — validation is the snapshot layer's
+    job, tested in test_replica_storage)."""
+    chain = tuple(_block(rng) for _ in range(rng.randrange(1, 5)))
+    return SnapshotImage(
+        tip_slot=chain[-1].slot,
+        tip_digest=chain[-1].digest,
+        state_digest=f"{rng.randrange(1 << 60):016x}",
+        applied_txids=tuple(f"tx-{k}" for k in range(rng.randrange(0, 6))),
+        kv_items=tuple(
+            (f"key-{k}", rng.randrange(1 << 20)) for k in range(rng.randrange(0, 6))
+        ),
+        chain=chain,
+    )
+
+
 GENERATORS = {
     Hello: lambda rng: Hello(rng.randrange(0, 128)),
     ClientSubmit: lambda rng: ClientSubmit(_txn(rng)),
@@ -138,7 +160,21 @@ GENERATORS = {
             )
             for peer in range(rng.randrange(0, 4))
         ),
+        recovered_blocks=rng.randrange(0, 200),
     ),
+    StateTransferRequest: lambda rng: StateTransferRequest(since_slot=rng.randrange(0, 500)),
+    StateTransferReply: lambda rng: StateTransferReply(
+        node_id=rng.randrange(0, 16),
+        tip_slot=rng.randrange(0, 500),
+        blocks=tuple(_block(rng) for _ in range(rng.randrange(0, 5))),
+    ),
+    WalAppend: lambda rng: WalAppend(seq=rng.randrange(1, 1 << 30), block=_block(rng)),
+    WalSeal: lambda rng: WalSeal(
+        seq=rng.randrange(1, 1 << 30),
+        upto_slot=rng.randrange(0, 500),
+        state_digest=f"{rng.randrange(1 << 60):016x}",
+    ),
+    SnapshotImage: _snapshot_image,
     VoteRecord: _vote_record,
     Block: _block,
     Transaction: _txn,
@@ -255,19 +291,36 @@ def test_encoding_is_deterministic_across_codec_instances():
 
 
 def test_golden_frame_pins_the_wire_format():
-    """v3 bytes are a contract: changing them must bump WIRE_VERSION."""
-    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7030024490000000000000007"
+    """v4 bytes are a contract: changing them must bump WIRE_VERSION."""
+    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7040024490000000000000007"
     assert (
         WIRE_CODEC.encode_frame(MSVote(3, 1, "abcd")).hex()
-        == "0000001fb7030031490000000000000003490000000000000001530000000461626364"
+        == "0000001fb7040031490000000000000003490000000000000001530000000461626364"
     )
     # Aggregated frame: one envelope, two nested (C-tagged) messages.
     assert WIRE_CODEC.encode_frame(
         VoteBatch((MSVote(3, 1, "abcd"), MSViewChange(4, 2)))
     ).hex() == (
-        "0000003cb70300355500000002"
+        "0000003cb70400355500000002"
         "430031490000000000000003490000000000000001530000000461626364"
         "430032490000000000000004490000000000000002"
+    )
+
+
+def test_golden_durability_frames_pin_the_wal_format():
+    """WAL/snapshot records are disk formats: their bytes are pinned
+    independently of the network path (a silent change would orphan
+    every existing data dir, not just break a live connection)."""
+    block = Block(slot=1, parent="genesis", payload=(), digest="d1")
+    assert WIRE_CODEC.encode(WalAppend(seq=5, block=block)).hex() == (
+        "b7040050490000000000000005"
+        "430011490000000000000001530000000767656e65736973550000000053000000026431"
+    )
+    assert WIRE_CODEC.encode(WalSeal(seq=6, upto_slot=1, state_digest="sd")).hex() == (
+        "b704005149000000000000000649000000000000000153000000027364"
+    )
+    assert WIRE_CODEC.encode(StateTransferRequest(since_slot=3)).hex() == (
+        "b7040009490000000000000003"
     )
 
 

@@ -1,0 +1,169 @@
+"""Typed-config contract: the old ``REPRO_*`` env vars, byte for byte.
+
+:mod:`repro.config` replaced the scattered ``os.environ`` lookups; the
+contract it must honor is that every historical spelling of every knob
+parses to exactly the behavior the inline lookups produced — including
+the inconsistencies (flags accept ``1``/``true``/``yes`` any-case;
+``REPRO_HEAVY`` is plain truthiness of a non-empty string).  The cache
+must also track in-process env mutation, because the ablation harness
+and these very tests monkeypatch variables mid-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DEFAULT_SNAPSHOT_INTERVAL,
+    DEFAULT_WAL_FSYNC_WINDOW,
+    ReproConfig,
+    repro_config,
+)
+from repro.errors import ConfigurationError
+from repro.multishot.batching import (
+    MAX_BATCH,
+    AdaptiveBatchPolicy,
+    FixedBatchPolicy,
+    batch_policy_from_env,
+    batching_enabled,
+)
+from repro.net.transport import delay_enabled
+
+_ALL_KEYS = (
+    "REPRO_NO_BATCH",
+    "REPRO_NO_DELAY",
+    "REPRO_NO_UVLOOP",
+    "REPRO_BATCH_POLICY",
+    "REPRO_HEAVY",
+    "REPRO_DATA_DIR",
+    "REPRO_WAL_FSYNC_WINDOW",
+    "REPRO_SNAPSHOT_INTERVAL",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    """Every test starts from a fully unset REPRO_* environment."""
+    for key in _ALL_KEYS:
+        monkeypatch.delenv(key, raising=False)
+
+
+def test_defaults_with_nothing_set():
+    config = repro_config()
+    assert config == ReproConfig()
+    assert not config.no_batch and not config.no_delay and not config.no_uvloop
+    assert config.batch_policy == "" and not config.heavy
+    assert config.data_dir is None
+    assert config.wal_fsync_window == DEFAULT_WAL_FSYNC_WINDOW
+    assert config.snapshot_interval == DEFAULT_SNAPSHOT_INTERVAL
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "TRUE", "yes", "Yes"])
+def test_flag_spellings_that_enable(monkeypatch, raw):
+    """The historical tri-spelling parse, any case."""
+    for key, attr in (
+        ("REPRO_NO_BATCH", "no_batch"),
+        ("REPRO_NO_DELAY", "no_delay"),
+        ("REPRO_NO_UVLOOP", "no_uvloop"),
+    ):
+        monkeypatch.setenv(key, raw)
+        assert getattr(repro_config(), attr) is True
+        monkeypatch.delenv(key)
+
+
+@pytest.mark.parametrize("raw", ["", "0", "false", "no", "on", "2", "enabled"])
+def test_flag_spellings_that_do_not_enable(monkeypatch, raw):
+    """Anything outside the three spellings is off — exactly as the
+    inline ``in ("1", "true", "yes")`` checks behaved."""
+    monkeypatch.setenv("REPRO_NO_BATCH", raw)
+    assert repro_config().no_batch is False
+
+
+def test_heavy_is_plain_truthiness(monkeypatch):
+    """``REPRO_HEAVY`` historically used ``os.environ.get(...)`` as a
+    bare truth test: any non-empty string counts, even ``0``."""
+    assert repro_config().heavy is False
+    monkeypatch.setenv("REPRO_HEAVY", "0")
+    assert repro_config().heavy is True
+    monkeypatch.setenv("REPRO_HEAVY", "")
+    assert repro_config().heavy is False
+
+
+def test_cache_tracks_env_mutation(monkeypatch):
+    assert repro_config().no_delay is False
+    first = repro_config()
+    assert repro_config() is first  # unchanged env: cached object
+    monkeypatch.setenv("REPRO_NO_DELAY", "1")
+    assert repro_config().no_delay is True
+    monkeypatch.delenv("REPRO_NO_DELAY")
+    assert repro_config().no_delay is False
+
+
+# -- consumer equivalence -----------------------------------------------------
+
+
+def test_batching_enabled_consumes_the_config(monkeypatch):
+    assert batching_enabled() is True
+    monkeypatch.setenv("REPRO_NO_BATCH", "yes")
+    assert batching_enabled() is False
+
+
+def test_delay_enabled_consumes_the_config(monkeypatch):
+    assert delay_enabled() is True
+    monkeypatch.setenv("REPRO_NO_DELAY", "true")
+    assert delay_enabled() is False
+
+
+def test_batch_policy_selection(monkeypatch):
+    assert isinstance(batch_policy_from_env(), AdaptiveBatchPolicy)
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "adaptive")
+    assert isinstance(batch_policy_from_env(), AdaptiveBatchPolicy)
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "  Fixed  ")  # historical strip+lower
+    policy = batch_policy_from_env()
+    assert isinstance(policy, FixedBatchPolicy) and policy.limit == MAX_BATCH
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "fixed:5")
+    assert batch_policy_from_env().limit == 5
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "fixed:x")
+    with pytest.raises(ConfigurationError, match="needs an integer"):
+        batch_policy_from_env()
+    monkeypatch.setenv("REPRO_BATCH_POLICY", "turbo")
+    with pytest.raises(ConfigurationError, match="unknown REPRO_BATCH_POLICY"):
+        batch_policy_from_env()
+
+
+# -- durability knobs ---------------------------------------------------------
+
+
+def test_durability_knobs(monkeypatch):
+    monkeypatch.setenv("REPRO_DATA_DIR", "/tmp/somewhere")
+    monkeypatch.setenv("REPRO_WAL_FSYNC_WINDOW", "0.25")
+    monkeypatch.setenv("REPRO_SNAPSHOT_INTERVAL", "7")
+    config = repro_config()
+    assert config.data_dir == "/tmp/somewhere"
+    assert config.wal_fsync_window == 0.25
+    assert config.snapshot_interval == 7
+
+
+def test_empty_data_dir_means_unset(monkeypatch):
+    monkeypatch.setenv("REPRO_DATA_DIR", "")
+    assert repro_config().data_dir is None
+
+
+@pytest.mark.parametrize(
+    ("key", "raw", "match"),
+    [
+        ("REPRO_WAL_FSYNC_WINDOW", "soon", "needs a float"),
+        ("REPRO_WAL_FSYNC_WINDOW", "-0.1", "must be >= 0"),
+        ("REPRO_SNAPSHOT_INTERVAL", "many", "needs an integer"),
+        ("REPRO_SNAPSHOT_INTERVAL", "0", "must be >= 1"),
+    ],
+)
+def test_bad_durability_values_are_configuration_errors(monkeypatch, key, raw, match):
+    monkeypatch.setenv(key, raw)
+    with pytest.raises(ConfigurationError, match=match):
+        repro_config()
+
+
+def test_from_env_accepts_explicit_mapping():
+    config = ReproConfig.from_env({"REPRO_NO_BATCH": "1", "REPRO_SNAPSHOT_INTERVAL": "3"})
+    assert config.no_batch is True and config.snapshot_interval == 3
