@@ -128,6 +128,41 @@ _AGGREGATE_METRICS = {
     "gateway_saturation": "saturation_offered",
 }
 
+#: Observability columns every freshly produced ``net_smoke`` row must
+#: carry: the per-replica series scraped in-band mid-run.  The gate is
+#: *presence-only* — live values (a commit rate, a queue depth) are
+#: point-in-time reads and legitimately vary run to run, but a row
+#: that lost the columns means the scrape plumbing broke silently.
+REQUIRED_NET_OBS_COLUMNS = (
+    "commit_rate",
+    "view_changes",
+    "mempool_depth",
+    "queue_lag",
+    "fsyncs",
+    "wal_bytes",
+    "snapshots",
+)
+
+
+def missing_obs_columns(fresh_net: dict) -> list[str]:
+    """Presence check over the fresh smoke rows (see
+    :data:`REQUIRED_NET_OBS_COLUMNS`); returns failure lines.
+
+    Scoped to ``net_smoke`` — the one key every CI net run rewrites —
+    so stale heavy-grid rows from older builds cannot false-fail."""
+    failures = []
+    for row in fresh_net.get("net_smoke", []) or []:
+        if not isinstance(row, dict):
+            continue
+        missing = [col for col in REQUIRED_NET_OBS_COLUMNS if col not in row]
+        if missing:
+            ident = {k: row.get(k) for k in ("engine", "workload", "scenario", "n")}
+            failures.append(
+                f"net/net_smoke {ident}: fresh row is missing scraped "
+                f"metric column(s) {missing} — the obs scrape plumbing broke"
+            )
+    return failures
+
 
 def load_records(path: Path) -> dict:
     try:
@@ -197,6 +232,8 @@ def compare(
 
     baselines = {stem: load_records(baseline_dir / f"BENCH_{stem}.json") for stem in BENCH_STEMS}
     fresh_all = {stem: load_records(fresh_dir / f"BENCH_{stem}.json") for stem in BENCH_STEMS}
+
+    regressions.extend(missing_obs_columns(fresh_all["net"]))
 
     for stem, key in GATED_AGGREGATES:
         metric = _AGGREGATE_METRICS[key]

@@ -56,7 +56,7 @@ import sys
 
 from repro.eval import attacks, engine_matrix, fig1_lemmas, fig2_pipeline
 from repro.eval import fig3_viewchange, gateway_bench, hardening_ablation
-from repro.eval import net_bench, responsiveness, scaling, smr_bench
+from repro.eval import net_bench, obs_live, responsiveness, scaling, smr_bench
 from repro.eval import table1, timeout_ablation, verification_run
 
 EXPERIMENTS = {
@@ -74,6 +74,7 @@ EXPERIMENTS = {
     "attacks": (attacks.main, "A6 — Byzantine campaign over the engines"),
     "net": (net_bench.main, "A7 — deployed clusters over TCP"),
     "gateway": (gateway_bench.main, "A8 — client gateway under open-loop load"),
+    "obs": (obs_live.main, "Live in-band metrics scrape of a deployed cluster"),
 }
 
 

@@ -56,6 +56,8 @@ _ENV_KEYS = (
     "REPRO_DATA_DIR",
     "REPRO_WAL_FSYNC_WINDOW",
     "REPRO_SNAPSHOT_INTERVAL",
+    "REPRO_NO_OBS",
+    "REPRO_EVENT_LOG",
 )
 
 
@@ -90,6 +92,15 @@ class ReproConfig:
     wal_fsync_window: float = DEFAULT_WAL_FSYNC_WINDOW
     #: ``REPRO_SNAPSHOT_INTERVAL`` — finalized blocks per snapshot.
     snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL
+    #: ``REPRO_NO_OBS`` — disable observability *sampling*: structured
+    #: event recording and commit-path trace sampling go quiet.  The
+    #: metrics registry's plain counters stay on (the collect/scrape
+    #: wire payloads are built from them); this is the do-no-harm arm.
+    no_obs: bool = False
+    #: ``REPRO_EVENT_LOG`` — stream every structured event to an NDJSON
+    #: file under the replica's data dir (or ``REPRO_DATA_DIR``) as it
+    #: happens, instead of only keeping the in-memory ring buffer.
+    event_log: bool = False
 
     @classmethod
     def from_env(cls, env: os._Environ | dict[str, str] = os.environ) -> "ReproConfig":
@@ -121,6 +132,8 @@ class ReproConfig:
             data_dir=env.get("REPRO_DATA_DIR") or None,
             wal_fsync_window=window,
             snapshot_interval=interval,
+            no_obs=_flag(env.get("REPRO_NO_OBS")),
+            event_log=_flag(env.get("REPRO_EVENT_LOG")),
         )
 
 

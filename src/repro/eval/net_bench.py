@@ -66,6 +66,7 @@ from repro.metrics.smr_trackers import nearest_rank_percentiles
 from repro.net.cluster import (
     ClusterConfig,
     NetRunResult,
+    reply_metric,
     run_cluster_workload,
     schedule_from_workload,
 )
@@ -121,7 +122,7 @@ class NetRow:
     safe: bool
     live: bool
     checks: dict[str, bool]
-    #: Summed over the cluster's CollectReplies: physical frames each
+    #: Summed over the cluster's metrics payloads: physical frames each
     #: replica read off its peer sockets vs the logical messages inside
     #: them (one VoteBatch frame carries many votes).
     frames_in: int = 0
@@ -146,6 +147,19 @@ class NetRow:
     #: Blocks the restarted replicas recovered from snapshot + WAL
     #: (as opposed to re-fetched over the network).
     recovered_blocks: int = 0
+    #: Live-scraped observability columns: a MetricsRequest snapshot
+    #: taken *mid-run* (while the cluster is still in consensus), so
+    #: windowed instruments — commit rate, queue lag, mempool depth —
+    #: are read live rather than post-mortem.  Durability counters
+    #: (fsyncs, WAL bytes, snapshots) come from the same scrape and are
+    #: summed across replicas; rates/depths report the cluster max.
+    commit_rate: float = 0.0
+    view_changes: int = 0
+    mempool_depth: int = 0
+    queue_lag: int = 0
+    fsyncs: int = 0
+    wal_bytes: int = 0
+    snapshots: int = 0
 
     @property
     def txns_per_sec(self) -> float:
@@ -277,6 +291,14 @@ def run_net_cell(
     return row
 
 
+def _metric_sum(replies, name: str) -> float:
+    return sum(reply_metric(reply, name) for reply in replies.values())
+
+
+def _metric_max(replies, name: str) -> float:
+    return max((reply_metric(reply, name) for reply in replies.values()), default=0.0)
+
+
 def _row_from_result(
     engine: str, workload: str, scenario: str, n: int, result: NetRunResult
 ) -> NetRow:
@@ -292,9 +314,17 @@ def _row_from_result(
     if result.restarted:
         digests = {reply.state_digest for reply in result.replies.values()}
         converged = all(r in result.replies for r in result.restarted) and len(digests) == 1
-        recovered = sum(
-            result.replies[r].recovered_blocks for r in result.restarted if r in result.replies
+        recovered = int(
+            sum(
+                reply_metric(result.replies[r], "storage.recovered_blocks")
+                for r in result.restarted
+                if r in result.replies
+            )
         )
+    # Live observability columns come from the mid-run scrape; if the
+    # scrape failed (or a cell predates it), fall back to the collect
+    # replies — counters survive the fallback, windowed rates read 0.
+    scraped = result.scrapes or result.replies
     return NetRow(
         engine=engine,
         workload=workload,
@@ -311,24 +341,23 @@ def _row_from_result(
         safe=report.safe,
         live=live,
         checks=dict(report.checks),
-        frames_in=sum(reply.frames_in for reply in result.replies.values()),
-        messages_in=sum(reply.messages_in for reply in result.replies.values()),
+        frames_in=int(_metric_sum(result.replies, "net.frames_in")),
+        messages_in=int(_metric_sum(result.replies, "net.messages_in")),
         busy_duty=result.busy_duty,
-        flushes=sum(
-            lane[1] for reply in result.replies.values() for lane in reply.flush_stats
-        ),
-        frames_flushed=sum(
-            lane[2] for reply in result.replies.values() for lane in reply.flush_stats
-        ),
-        bytes_flushed=sum(
-            lane[3] for reply in result.replies.values() for lane in reply.flush_stats
-        ),
-        held_us=sum(
-            lane[4] for reply in result.replies.values() for lane in reply.flush_stats
-        ),
+        flushes=int(_metric_sum(result.replies, "transport.flushes")),
+        frames_flushed=int(_metric_sum(result.replies, "transport.frames_flushed")),
+        bytes_flushed=int(_metric_sum(result.replies, "transport.bytes_flushed")),
+        held_us=int(_metric_sum(result.replies, "transport.held_us")),
         restarted=result.restarted,
         converged=converged,
         recovered_blocks=recovered,
+        commit_rate=_metric_max(scraped, "consensus.commit.rate"),
+        view_changes=int(_metric_max(scraped, "consensus.view_changes")),
+        mempool_depth=int(_metric_max(scraped, "mempool.depth")),
+        queue_lag=int(_metric_max(scraped, "transport.queue_lag")),
+        fsyncs=int(_metric_sum(scraped, "storage.fsyncs")),
+        wal_bytes=int(_metric_sum(scraped, "storage.wal_bytes")),
+        snapshots=int(_metric_sum(scraped, "storage.snapshots")),
     )
 
 
@@ -455,6 +484,13 @@ def net_record(row: NetRow) -> dict:
         "restarted": list(row.restarted),
         "converged": row.converged,
         "recovered_blocks": row.recovered_blocks,
+        "commit_rate": row.commit_rate,
+        "view_changes": row.view_changes,
+        "mempool_depth": row.mempool_depth,
+        "queue_lag": row.queue_lag,
+        "fsyncs": row.fsyncs,
+        "wal_bytes": row.wal_bytes,
+        "snapshots": row.snapshots,
     }
 
 
@@ -480,6 +516,8 @@ def format_net_report(rows: list[NetRow]) -> str:
                 "msg/frm": row.msgs_per_frame,
                 "frm/wr": row.frames_per_flush,
                 "duty": row.busy_duty,
+                "commit/s": row.commit_rate,
+                "fsync": row.fsyncs,
                 "verdict": row.verdict,
             }
             for row in rows
@@ -499,6 +537,8 @@ def format_net_report(rows: list[NetRow]) -> str:
             "msg/frm",
             "frm/wr",
             "duty",
+            "commit/s",
+            "fsync",
             "verdict",
         ],
         title="A7 — deployed clusters over TCP (wall clock, audited)",

@@ -11,7 +11,8 @@ GET    ``/v1/transactions/<txid>``  commit status of one transaction
 GET    ``/v1/state/<key>``          executed-state read (snapshot path)
 GET    ``/v1/chain``                finalized chain summary
 GET    ``/v1/health``               liveness/quorum summary
-GET    ``/v1/metrics``              counters + latency percentiles
+GET    ``/v1/metrics``              registry snapshot + latency percentiles
+GET    ``/v1/cluster/metrics``      in-band scrape of every live replica
 GET    ``/v1/ws``                   WebSocket commit-event subscription
 ====== ============================ =======================================
 
@@ -151,7 +152,13 @@ class GatewayServer:
                 if request.wants_websocket:
                     await self._serve_websocket(request, reader, writer, peer_id)
                     break
-                response = self._dispatch(request, peer_id)
+                if request.path.split("?", 1)[0] == "/v1/cluster/metrics":
+                    # The one route that must await the cluster (an
+                    # in-band MetricsRequest round over the client
+                    # ports), so it bypasses the sync dispatch table.
+                    response = await self._cluster_metrics(request)
+                else:
+                    response = self._dispatch(request, peer_id)
                 writer.write(response)
                 await writer.drain()
         except (ConnectionError, OSError):
@@ -216,6 +223,23 @@ class GatewayServer:
                 405, error_payload("method_not_allowed", f"{method} not allowed on {path}")
             )
         return render_response(404, error_payload("not_found", f"no route for {path}"))
+
+    async def _cluster_metrics(self, request: Request) -> bytes:
+        if request.method != "GET":
+            return render_response(
+                405,
+                error_payload(
+                    "method_not_allowed",
+                    f"{request.method} not allowed on /v1/cluster/metrics",
+                ),
+            )
+        try:
+            payload = await self.service.cluster_metrics(timeout=2.0)
+        except (OSError, ConnectionError, asyncio.TimeoutError):
+            return render_response(
+                503, error_payload("scrape_failed", "could not scrape the replica cluster")
+            )
+        return render_response(200, payload)
 
     def _submit(self, request: Request, peer_id: str) -> bytes:
         txn = parse_transaction(request.json())

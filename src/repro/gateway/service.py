@@ -38,11 +38,56 @@ from repro.metrics.smr_trackers import nearest_rank_percentiles
 from repro.multishot.batching import AdaptiveBatchPolicy
 from repro.net.client import AckCorrelator, ReplicaPool
 from repro.net.codec import CollectReply, CommitAck
+from repro.obs import CommitPathTracer, MetricsRegistry, items_to_dict
 from repro.smr.mempool import Transaction
 from repro.verification.audit import replay_chain
 
 #: Queue sentinel delivered to a subscriber that fell too far behind.
 EVICTED = object()
+
+#: Counter names the gateway maintains (``gateway.`` namespace on the
+#: registry; bare names through the :class:`_RegistryCounters` facade).
+GATEWAY_COUNTERS = (
+    "submitted",
+    "committed",
+    "rejected_rate",
+    "rejected_admission",
+    "duplicates",
+    "flushes",
+    "flushed_txns",
+    "events_delivered",
+    "subscribers_evicted",
+    "snapshot_refreshes",
+)
+
+
+class _RegistryCounters:
+    """Dict-shaped view over registry counters.
+
+    The gateway's metrics used to live in a plain dict; the call sites
+    (``self.counters["submitted"] += 1``) are kept intact while the
+    values now live on the shared :class:`MetricsRegistry`, so one
+    snapshot carries everything the service measures.
+    """
+
+    def __init__(self, registry: MetricsRegistry, names, prefix: str = "gateway.") -> None:
+        self._registry = registry
+        self._prefix = prefix
+        self._names = tuple(names)
+        for name in self._names:
+            registry.counter(prefix + name)
+
+    def __getitem__(self, name: str) -> int:
+        return int(self._registry.counter(self._prefix + name).value)
+
+    def __setitem__(self, name: str, value: float) -> None:
+        self._registry.counter(self._prefix + name).set(float(value))
+
+    def keys(self):
+        return iter(self._names)
+
+    def __iter__(self):
+        return iter(self._names)
 
 
 @dataclass(frozen=True)
@@ -185,19 +230,17 @@ class GatewayService:
         self._replay_cache_key: tuple[str, int] | None = None
         self._replay_store = None
         self.started_at: float | None = None
-        # Monotonic counters the metrics endpoint reports.
-        self.counters = {
-            "submitted": 0,
-            "committed": 0,
-            "rejected_rate": 0,
-            "rejected_admission": 0,
-            "duplicates": 0,
-            "flushes": 0,
-            "flushed_txns": 0,
-            "events_delivered": 0,
-            "subscribers_evicted": 0,
-            "snapshot_refreshes": 0,
-        }
+        # Monotonic counters the metrics endpoint reports, living on
+        # the gateway's own registry (``/v1/metrics`` is a view of it).
+        self.registry = MetricsRegistry(clock=clock)
+        self.counters = _RegistryCounters(self.registry, GATEWAY_COUNTERS)
+        cfg = repro_config()
+        #: Gateway end of the commit-path trace: admission → quorum ack.
+        #: Same deterministic txid sampling as the replica tracers, so
+        #: a sampled transaction is sampled at every hop.
+        self.tracer = CommitPathTracer(
+            sample_every=0 if cfg.no_obs else 16, clock=clock, terminal="ack"
+        )
         pool.on_ack = self._on_ack
 
     # -- lifecycle ------------------------------------------------------------
@@ -245,9 +288,11 @@ class GatewayService:
         state.submitted += 1
         state.txids.add(txn.txid)
         self.counters["submitted"] += 1
+        self.tracer.record(txn.txid, "admit", at=now)
         if not self._batching:
             # Batching disabled: every submission travels alone, now.
             self.pool.submit(txn)
+            self.tracer.record(txn.txid, "submit")
             self.counters["flushes"] += 1
             self.counters["flushed_txns"] += 1
             return status
@@ -282,6 +327,8 @@ class GatewayService:
             return
         batch, self._buffer = self._buffer, []
         self.pool.submit_many(batch)
+        for txn in batch:
+            self.tracer.record(txn.txid, "submit")
         self._batch_policy.observe(len(batch))
         self.counters["flushes"] += 1
         self.counters["flushed_txns"] += len(batch)
@@ -300,6 +347,7 @@ class GatewayService:
             status.slot = ack.slot
         if not status.committed and len(status.acks) >= self.config.ack_quorum:
             status.committed_at = now
+            self.tracer.record(status.txid, "ack", at=now)
             self.counters["committed"] += 1
             client = self.admission.clients.get(status.client_id)
             if client is not None and client.inflight > 0:
@@ -449,8 +497,16 @@ class GatewayService:
 
     def metrics(self) -> dict:
         pending = self.counters["submitted"] - self.counters["committed"]
+        # Derived values live on the registry as gauges so a registry
+        # snapshot is self-contained; the endpoint's flat keys are kept
+        # as a stable view over it.
+        self.registry.gauge("gateway.pending").set(pending)
+        self.registry.gauge("gateway.clients").set(len(self.admission.clients))
+        self.registry.gauge("gateway.subscribers").set(len(self.subscriptions))
+        self.registry.gauge("gateway.replicas_live").set(len(self.pool.live))
+        self.tracer.publish(self.registry, prefix="gateway.trace.")
         return {
-            **self.counters,
+            **{name: self.counters[name] for name in self.counters},
             "pending": pending,
             "clients": len(self.admission.clients),
             "subscribers": len(self.subscriptions),
@@ -459,6 +515,28 @@ class GatewayService:
             "uptime_seconds": 0.0
             if self.started_at is None
             else self._clock() - self.started_at,
+            "registry": self.registry.snapshot(),
+        }
+
+    async def cluster_metrics(self, timeout: float | None = None) -> dict:
+        """Scrape every live replica in-band and aggregate per replica.
+
+        The ``/v1/cluster/metrics`` payload: one MetricsRequest round
+        over the client ports, each reply's sorted items decoded back
+        into a flat name → value map, plus the gateway's own registry
+        snapshot so one response covers the whole deployment.
+        """
+        replies = await self.pool.scrape(timeout)
+        return {
+            "replicas": {
+                str(node_id): {
+                    "events": reply.events,
+                    "metrics": items_to_dict(reply.items),
+                }
+                for node_id, reply in sorted(replies.items())
+            },
+            "replicas_live": len(self.pool.live),
+            "gateway": self.registry.snapshot(),
         }
 
     def health(self) -> dict:

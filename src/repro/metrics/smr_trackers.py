@@ -153,6 +153,15 @@ class SMRTrackers:
     def record_commit(self, node: int, txid: str, time: float) -> None:
         self.latency.record_commit(node, txid, time)
 
+    def record_proposal(self, node: int, txids: tuple[str, ...], time: float) -> None:
+        """A leader packed ``txids`` into a proposed block.
+
+        No aggregate is kept here — proposals may be aborted and
+        re-proposed, so only finalization counts toward throughput —
+        but observability subclasses hook this for commit-path tracing
+        (the ``propose`` span stage).
+        """
+
     def record_block(self, node: int, slot: int, txns: int, mempool_size: int, time: float) -> None:
         self.throughput.record_block(node, slot, txns, mempool_size, time)
 

@@ -33,6 +33,8 @@ from repro.net.codec import (
     WIRE_VERSION,
     CodecError,
     FrameBuffer,
+    MetricsReply,
+    MetricsRequest,
     WireCodec,
     wire_codec,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "FrameBuffer",
     "WireCodec",
     "wire_codec",
+    "MetricsReply",
+    "MetricsRequest",
     "AckCorrelator",
     "ReplicaPool",
     "scaled_timeout",

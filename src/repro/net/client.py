@@ -39,6 +39,8 @@ from repro.net.codec import (
     CollectRequest,
     CommitAck,
     FrameBuffer,
+    MetricsReply,
+    MetricsRequest,
     SnapshotRequest,
     StartRun,
     WireCodec,
@@ -296,7 +298,7 @@ class ReplicaPool:
         if isinstance(message, CommitAck):
             if self.on_ack is not None:
                 self.on_ack(node_id, message)
-        elif isinstance(message, CollectReply):
+        elif isinstance(message, (CollectReply, MetricsReply)):
             waiter = self._reply_waiters.get(node_id)
             if waiter is not None and not waiter.done():
                 waiter.set_result(message)
@@ -355,6 +357,12 @@ class ReplicaPool:
         """Read-path snapshot: current chain/state from every live
         replica, *without* shutting anything down."""
         return await self._request_replies(SnapshotRequest(), timeout)
+
+    async def scrape(self, timeout: float | None = None) -> dict[int, MetricsReply]:
+        """In-band metrics scrape: every live replica's obs-registry
+        snapshot, without perturbing consensus.  Cheap enough to poll
+        mid-run (no chain copy travels)."""
+        return await self._request_replies(MetricsRequest(), timeout)
 
     async def collect(self, timeout: float | None = None) -> dict[int, CollectReply]:
         """End-of-run evidence collection; replicas shut down after

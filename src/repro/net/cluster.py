@@ -36,15 +36,31 @@ import multiprocessing
 import os
 import socket
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.client import AckCorrelator, ReplicaPool
-from repro.net.codec import WIRE_CODEC, ClientSubmit, CollectReply, StartRun
+from repro.net.codec import WIRE_CODEC, ClientSubmit, CollectReply, MetricsReply, StartRun
 from repro.net.replica_main import ReplicaSpec, run_replica
 from repro.smr.engine import ENGINE_NAMES
 from repro.smr.mempool import Transaction
 from repro.verification.audit import ReplicaEvidence
+
+
+def reply_metric(reply, name: str, default: float = 0.0) -> float:
+    """One named value out of a reply's obs-metrics payload.
+
+    Works over both :class:`CollectReply` (``.metrics``) and
+    :class:`MetricsReply` (``.items``); absent names — an older
+    replica, a metric the cell never exercised — read as ``default``.
+    """
+    items = getattr(reply, "metrics", None)
+    if items is None:
+        items = getattr(reply, "items", ())
+    for key, value in items:
+        if key == name:
+            return float(value)
+    return default
 
 
 @dataclass(frozen=True)
@@ -113,6 +129,10 @@ class NetRunResult:
     elapsed_seconds: float = 0.0
     #: Replicas killed and then restarted from their data dirs.
     restarted: tuple[int, ...] = ()
+    #: Mid-run obs scrape: node id → :class:`MetricsReply`, taken while
+    #: the cluster was still in consensus (just after the workload was
+    #: fully acked, before any collect).
+    scrapes: dict[int, MetricsReply] = field(default_factory=dict)
 
     @property
     def busy_duty(self) -> float:
@@ -128,7 +148,7 @@ class NetRunResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         total_cpu = self.driver_cpu_seconds + sum(
-            reply.cpu_seconds for reply in self.replies.values()
+            reply_metric(reply, "process.cpu_seconds") for reply in self.replies.values()
         )
         lanes = min(len(self.replies) + 1, os.cpu_count() or 1)
         return total_cpu / (self.elapsed_seconds * max(lanes, 1))
@@ -348,6 +368,16 @@ async def _drive(
         except asyncio.TimeoutError:
             pass
 
+    # Mid-run metrics snapshot: the cluster is still in consensus (no
+    # collect has been sent), so windowed instruments — commit rate,
+    # queue lag, mempool depth — are read live, not post-mortem.  A
+    # scrape failure must never fail a run that measured fine.
+    scrapes: dict[int, MetricsReply] = {}
+    try:
+        scrapes = await pool.scrape(timeout=min(5.0, config.deadline / 4))
+    except (OSError, ConnectionError, asyncio.TimeoutError):
+        pass
+
     if restarted and completed:
         # Convergence wait: poll the rejoiner's snapshot until it has
         # applied the full workload (recovery replay + catch-up), or
@@ -395,6 +425,7 @@ async def _drive(
         driver_cpu_seconds=driver_cpu,
         elapsed_seconds=elapsed,
         restarted=tuple(restarted),
+        scrapes=scrapes,
     )
 
 

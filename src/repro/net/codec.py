@@ -55,7 +55,12 @@ from repro.errors import ReproError
 #: v4: CollectReply gained recovered_blocks (restart-from-disk
 #: evidence); the durability frames (StateTransfer*, Wal*, Snapshot
 #: Image) registered.
-WIRE_VERSION = 4
+#: v5: in-band scraping — MetricsRequest/MetricsReply registered, and
+#: CollectReply's hand-rolled counter tail (frames_in, messages_in,
+#: cpu_seconds, run_seconds, flush_stats, recovered_blocks) collapsed
+#: into one sorted ``metrics`` payload of (name, value) pairs drawn
+#: from the replica's obs registry.
+WIRE_VERSION = 5
 
 #: First byte of every frame body; guards against a stray TCP client.
 MAGIC = 0xB7
@@ -463,19 +468,16 @@ class ClientSubmitBatch:
 
 @dataclass(frozen=True)
 class CollectReply:
-    """A replica's end-of-run evidence (audit input) and counters.
+    """A replica's end-of-run evidence (audit input) plus its metrics.
 
-    ``frames_in`` counts physical frames received from peers;
-    ``messages_in`` counts the logical protocol messages inside them
-    (a :class:`~repro.multishot.messages.VoteBatch` is one frame, many
-    messages).  Their ratio is the wire-level batching factor the bench
-    layer reports as messages/frame.
-
-    ``cpu_seconds`` / ``run_seconds`` are the replica process's CPU and
-    wall time over its consensus run — the per-replica inputs to the
-    capacity cell's busy-duty-cycle assertion.  ``flush_stats`` carries
-    the transport's per-peer delayed-flush counters as
-    ``(peer_id, flushes, frames, bytes, held_us)`` tuples.
+    The evidence fields (chain, digest, applied txids) feed the
+    SafetyAuditor.  Everything the bench layer used to receive as
+    parallel hand-rolled fields — frames/messages counters, CPU and
+    wall seconds, per-peer flush stats, recovered-block counts — now
+    travels as ``metrics``: the replica's obs-registry snapshot, a
+    sorted tuple of ``(name, value)`` pairs (see
+    :meth:`repro.obs.MetricsRegistry.snapshot_items`).  One payload,
+    one shape, shared with :class:`MetricsReply`.
     """
 
     node_id: int
@@ -484,15 +486,33 @@ class CollectReply:
     applied_txids: tuple  # tuple[str, ...]
     blocks_applied: int
     txns_applied: int
-    frames_in: int = 0
-    messages_in: int = 0
-    cpu_seconds: float = 0.0
-    run_seconds: float = 0.0
-    flush_stats: tuple = ()  # tuple[tuple[int, int, int, int, int], ...]
-    #: Finalized blocks this replica restored from its data dir before
-    #: (re)joining consensus — nonzero proves a restart actually
-    #: replayed snapshot+WAL rather than resyncing everything.
-    recovered_blocks: int = 0
+    metrics: tuple = ()  # tuple[tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Client → replica: report your live metrics, keep running.
+
+    The in-band scrape: served on the existing client port like
+    :class:`SnapshotRequest`, but cheap — no chain copy, just the
+    registry snapshot — so drivers and the gateway can poll it mid-run
+    without perturbing consensus.
+    """
+
+
+@dataclass(frozen=True)
+class MetricsReply:
+    """Replica → client: one obs-registry snapshot.
+
+    ``items`` is the sorted ``(name, value)`` tuple from
+    :meth:`repro.obs.MetricsRegistry.snapshot_items`; ``events`` is the
+    current depth of the replica's structured-event ring buffer (how
+    much forensics a dump would yield).
+    """
+
+    node_id: int
+    items: tuple = ()  # tuple[tuple[str, float], ...]
+    events: int = 0
 
 
 @dataclass(frozen=True)
@@ -616,6 +636,9 @@ def wire_codec() -> WireCodec:
     codec.register(8, ClientSubmitBatch)
     codec.register(9, StateTransferRequest)
     codec.register(10, StateTransferReply)
+    # In-band metrics scrape (wire v5).
+    codec.register(11, MetricsRequest)
+    codec.register(12, MetricsReply)
     # Shared nested structures.
     codec.register(16, VoteRecord)
     codec.register(17, Block)

@@ -31,6 +31,9 @@ import logging
 import time
 from dataclasses import dataclass
 
+from pathlib import Path
+
+from repro.config import repro_config
 from repro.core.config import ProtocolConfig
 from repro.metrics.smr_trackers import SMRTrackers
 from repro.net.codec import (
@@ -42,6 +45,8 @@ from repro.net.codec import (
     CollectRequest,
     CommitAck,
     FrameBuffer,
+    MetricsReply,
+    MetricsRequest,
     SnapshotRequest,
     StartRun,
     StateTransferReply,
@@ -49,10 +54,21 @@ from repro.net.codec import (
 )
 from repro.net.client import REFERENCE_TIME_SCALE
 from repro.net.transport import LinkLatency, NetContext, NetTransport, install_uvloop
+from repro.obs import CommitPathTracer, EventLog, MetricsRegistry
 from repro.smr.engine import engine_factory
 from repro.smr.mempool import Transaction
 from repro.smr.replica import Replica
 from repro.storage.api import MemoryStorage
+
+#: Events kept in a replica's in-memory forensics ring.
+EVENT_RING_CAPACITY = 256
+
+#: Trace one txn in this many (deterministic in the txid, so every
+#: process samples the same population).
+TRACE_SAMPLE_EVERY = 16
+
+#: Sliding window of the live commit-rate meter, seconds.
+COMMIT_RATE_WINDOW = 2.0
 
 
 @dataclass(frozen=True)
@@ -101,15 +117,65 @@ class ReplicaSpec:
 
 
 class _AckingTrackers(SMRTrackers):
-    """SMR trackers that also push a CommitAck per executed transaction."""
+    """SMR trackers that ack commits and feed the obs plane.
 
-    def __init__(self, ack) -> None:
+    Every tracker callback is already on the consensus hot path, so
+    this is where the registry instruments live: commit/block counters,
+    the windowed commit-rate meter, the mempool-depth gauge, finalize
+    events, and the sampled commit-path trace stages.
+    """
+
+    def __init__(self, ack, registry: MetricsRegistry, events: EventLog, tracer) -> None:
         super().__init__()
         self._ack = ack
+        self._events = events
+        self._tracer = tracer
+        self._commits = registry.counter("consensus.commits")
+        self._blocks = registry.counter("consensus.blocks")
+        self._commit_meter = registry.histogram("consensus.commit", window=COMMIT_RATE_WINDOW)
+        self._depth = registry.gauge("mempool.depth")
+
+    def record_submit(self, txid: str, time: float) -> None:
+        super().record_submit(txid, time)
+        self._tracer.record(txid, "submit")
+
+    def record_proposal(self, node: int, txids: tuple[str, ...], time: float) -> None:
+        for txid in txids:
+            self._tracer.record(txid, "propose")
 
     def record_commit(self, node: int, txid: str, time: float) -> None:
         super().record_commit(node, txid, time)
+        self._commits.inc()
+        self._commit_meter.record(1.0)
+        self._tracer.record(txid, "finalize")
         self._ack(txid)
+
+    def record_block(self, node: int, slot: int, txns: int, mempool_size: int, time: float) -> None:
+        super().record_block(node, slot, txns, mempool_size, time)
+        self._blocks.inc()
+        self._events.emit("finalize", slot=slot, txns=txns, mempool=mempool_size)
+
+    def record_mempool(self, node: int, size: int) -> None:
+        super().record_mempool(node, size)
+        self._depth.set(size)
+
+
+class _ObsNetContext(NetContext):
+    """NetContext that counts view entries and logs them as events."""
+
+    def __init__(self, node_id, transport, time_scale, registry, events) -> None:
+        super().__init__(node_id, transport, time_scale)
+        self._view_changes = registry.counter("consensus.view_changes")
+        self._view = registry.gauge("consensus.view")
+        self._events = events
+
+    def report_view_entry(self, view: int) -> None:
+        super().report_view_entry(view)
+        if view > self._view.value:
+            self._view.set(view)
+        if view > 0:
+            self._view_changes.inc()
+        self._events.emit("view_enter", view=view)
 
 
 class ReplicaProcess:
@@ -118,10 +184,29 @@ class ReplicaProcess:
     def __init__(self, spec: ReplicaSpec) -> None:
         self.spec = spec
         self.codec = WIRE_CODEC
+        cfg = repro_config()
         factory = engine_factory(
             spec.engine, ProtocolConfig.create(spec.n), max_slots=spec.max_slots
         )
-        self.trackers = _AckingTrackers(self._ack_commit)
+        # The obs plane: one registry + event log + tracer per replica
+        # process.  REPRO_NO_OBS=1 silences event recording and trace
+        # sampling; the registry's counters stay on (collect/scrape
+        # payloads are built from them).
+        self.registry = MetricsRegistry()
+        self._events_path = self._event_log_path(cfg)
+        self.events = EventLog(
+            replica=spec.node_id,
+            capacity=EVENT_RING_CAPACITY,
+            stream_path=self._events_path if cfg.event_log else None,
+            enabled=not cfg.no_obs,
+        )
+        self.tracer = CommitPathTracer(
+            sample_every=0 if cfg.no_obs else TRACE_SAMPLE_EVERY,
+            terminal="finalize",
+        )
+        self.trackers = _AckingTrackers(
+            self._ack_commit, self.registry, self.events, self.tracer
+        )
         self.storage = spec.build_storage()
         self.replica = Replica(
             spec.node_id,
@@ -139,6 +224,13 @@ class ReplicaProcess:
         if recovered is not None:
             self.replica.bootstrap(recovered.chain)
             self._recovered_blocks = len(recovered.chain)
+            self.events.emit(
+                "recover",
+                slot=recovered.chain[-1].slot,
+                blocks=self._recovered_blocks,
+                wal_blocks=recovered.wal_blocks,
+                torn_tail=recovered.torn_tail,
+            )
         self.transport = NetTransport(
             spec.node_id,
             spec.host,
@@ -148,25 +240,43 @@ class ReplicaProcess:
             codec=self.codec,
             latency=spec.build_latency(),
         )
-        self.ctx = NetContext(spec.node_id, self.transport, spec.time_scale)
+        self.ctx = _ObsNetContext(
+            spec.node_id, self.transport, spec.time_scale, self.registry, self.events
+        )
         self._started = False
         self._run_t0: float | None = None
         self._cpu_t0 = 0.0
         self._pre_start: list[tuple[int, object]] = []
-        self._frames_in = 0
-        self._messages_in = 0
+        self._frames_in = self.registry.counter("net.frames_in")
+        self._messages_in = self.registry.counter("net.messages_in")
         self._current_slot = 0
         self._clients: list[asyncio.StreamWriter] = []
         self._done = asyncio.Event()
         self._catch_up_task: asyncio.Task | None = None
 
+    def _event_log_path(self, cfg) -> Path | None:
+        """Where this replica's NDJSON event log lives, if anywhere.
+
+        A durable replica keeps it next to its WAL; a memory replica
+        falls back to ``REPRO_DATA_DIR`` (an ``events/`` subdir, one
+        file per node+port so concurrent cells do not collide); with
+        neither configured there is nowhere to write and only the ring
+        buffer exists.
+        """
+        if self.spec.data_dir is not None:
+            return Path(self.spec.data_dir) / "events.ndjson"
+        if cfg.data_dir:
+            name = f"node{self.spec.node_id}-{self.spec.client_port}.ndjson"
+            return Path(cfg.data_dir) / "events" / name
+        return None
+
     # -- consensus plumbing ---------------------------------------------------
 
     def _on_peer_message(self, sender: int, message: object) -> None:
         """Peer traffic; buffered until the driver says StartRun."""
-        self._frames_in += 1
+        self._frames_in.inc()
         count_fn = getattr(message, "logical_count", None)
-        self._messages_in += 1 if count_fn is None else count_fn()
+        self._messages_in.inc(1 if count_fn is None else count_fn())
         if not self._started:
             self._pre_start.append((sender, message))
             return
@@ -195,9 +305,35 @@ class ReplicaProcess:
             if not writer.is_closing():
                 writer.write(frame)
 
+    def _metrics_items(self) -> tuple[tuple[str, float], ...]:
+        """One obs-registry snapshot: the scrape/collect wire payload.
+
+        Point-in-time sources — process CPU/wall seconds, transport
+        lanes, durability counters, mempool occupancy, trace
+        breakdowns — are published into the registry here, at
+        scrape/collect time, so the hot path never pays for them.
+        """
+        registry = self.registry
+        started = self._run_t0 is not None
+        registry.counter("process.cpu_seconds").set(
+            time.process_time() - self._cpu_t0 if started else 0.0
+        )
+        registry.counter("process.run_seconds").set(
+            time.monotonic() - self._run_t0 if started else 0.0
+        )
+        registry.gauge("mempool.depth").set(self.replica.mempool.pending_count)
+        registry.gauge("mempool.in_flight").set(self.replica.mempool.in_flight_count)
+        registry.counter("storage.recovered_blocks").set(self._recovered_blocks)
+        registry.gauge("events.buffered").set(len(self.events))
+        self.transport.publish_metrics(registry)
+        publish = getattr(self.storage, "publish_metrics", None)
+        if publish is not None:
+            publish(registry)
+        self.tracer.publish(registry)
+        return registry.snapshot_items()
+
     def _collect_reply(self) -> CollectReply:
         replica = self.replica
-        started = self._run_t0 is not None
         return CollectReply(
             node_id=self.spec.node_id,
             chain=tuple(replica.finalized_chain),
@@ -205,12 +341,7 @@ class ReplicaProcess:
             applied_txids=tuple(replica.store.applied_txids),
             blocks_applied=self.trackers.throughput.blocks_applied(self.spec.node_id),
             txns_applied=self.trackers.throughput.txns_applied(self.spec.node_id),
-            frames_in=self._frames_in,
-            messages_in=self._messages_in,
-            cpu_seconds=time.process_time() - self._cpu_t0 if started else 0.0,
-            run_seconds=time.monotonic() - self._run_t0 if started else 0.0,
-            flush_stats=self.transport.flush_stats(),
-            recovered_blocks=self._recovered_blocks,
+            metrics=self._metrics_items(),
         )
 
     # -- state-transfer catch-up ----------------------------------------------
@@ -269,7 +400,14 @@ class ReplicaProcess:
             writer.close()
         blocks = self._validate_transfer(reply.blocks, since_slot)
         if blocks:
-            self.replica.offer_blocks(blocks)
+            advanced = self.replica.offer_blocks(blocks)
+            self.events.emit(
+                "state_transfer",
+                slot=blocks[-1].slot,
+                applied=len(blocks),
+                advanced=advanced,
+                peer=peer_id,
+            )
 
     @staticmethod
     def _validate_transfer(blocks: tuple, since_slot: int) -> tuple:
@@ -320,6 +458,12 @@ class ReplicaProcess:
                     elif isinstance(message, StateTransferRequest):
                         chain = self.replica.finalized_chain
                         blocks = tuple(b for b in chain if b.slot > message.since_slot)
+                        self.events.emit(
+                            "state_transfer",
+                            slot=chain[-1].slot if chain else 0,
+                            served=len(blocks),
+                            since=message.since_slot,
+                        )
                         writer.write(
                             self.codec.encode_frame(
                                 StateTransferReply(
@@ -330,16 +474,38 @@ class ReplicaProcess:
                             )
                         )
                         await writer.drain()
+                    elif isinstance(message, MetricsRequest):
+                        # In-band scrape: the registry snapshot, no
+                        # chain copy, replica stays in consensus.
+                        writer.write(
+                            self.codec.encode_frame(
+                                MetricsReply(
+                                    node_id=self.spec.node_id,
+                                    items=self._metrics_items(),
+                                    events=len(self.events),
+                                )
+                            )
+                        )
+                        await writer.drain()
                     elif isinstance(message, SnapshotRequest):
                         # Read path: answer with the same evidence shape
                         # as a collect, but stay in consensus.
                         writer.write(self.codec.encode_frame(self._collect_reply()))
                         await writer.drain()
                     elif isinstance(message, CollectRequest):
+                        # Dump forensics BEFORE answering: the driver
+                        # reaps the process as soon as every reply is
+                        # in, and SIGTERM does not unwind the finally
+                        # block — the reply is the dump's barrier.
+                        self._dump_events()
                         writer.write(self.codec.encode_frame(self._collect_reply()))
                         await writer.drain()
                         self._done.set()
                         return
+                    else:
+                        # A frame a client port has no business seeing
+                        # is a protocol anomaly worth forensics.
+                        self.events.emit("anomaly", frame=type(message).__name__)
         except (OSError, ConnectionError, CodecError):
             return
         finally:
@@ -364,6 +530,21 @@ class ReplicaProcess:
             await server.wait_closed()
             await self.transport.stop()
             self.storage.close()
+            self._dump_events()
+            self.events.close()
+
+    def _dump_events(self) -> None:
+        """Forensics: leave the ring tail next to the WAL (or under
+        ``REPRO_DATA_DIR``) so a post-mortem — a SafetyAuditor
+        violation, a CI failure artifact — has the last N events per
+        replica.  A streaming log already has everything on disk."""
+        if (
+            self.events.enabled
+            and self._events_path is not None
+            and len(self.events)
+            and not self.events.streaming
+        ):
+            self.events.dump(self._events_path)
 
 
 def run_replica(spec: ReplicaSpec) -> None:

@@ -235,6 +235,7 @@ class _PeerLane:
         "frames_flushed",
         "bytes_flushed",
         "held_us",
+        "connects",
     )
 
     def __init__(self) -> None:
@@ -250,6 +251,7 @@ class _PeerLane:
         self.frames_flushed = 0
         self.bytes_flushed = 0
         self.held_us = 0
+        self.connects = 0
 
     @property
     def hold_window(self) -> float:
@@ -356,6 +358,45 @@ class NetTransport:
             for peer_id, lane in sorted(self._lanes.items())
         )
 
+    def publish_metrics(self, registry) -> None:
+        """Write the transport's counters into an obs registry.
+
+        This is the delayed-flush counters' migration off the
+        hand-rolled ``flush_stats`` tuples: per-peer counters land
+        under ``transport.p<peer>.*``, process totals under
+        ``transport.*``, and the per-peer outbound queue depth — the
+        live "queue lag" signal, frames enqueued but not yet on the
+        wire — as gauges.  Called at scrape/collect time, so the lane
+        hot path still bumps plain ints.
+        """
+        total_flushes = total_frames = total_bytes = total_held = 0
+        total_dropped = total_reconnects = 0
+        max_queue = 0
+        for peer_id, lane in sorted(self._lanes.items()):
+            prefix = f"transport.p{peer_id}"
+            registry.counter(f"{prefix}.flushes").set(lane.flushes)
+            registry.counter(f"{prefix}.frames").set(lane.frames_flushed)
+            registry.counter(f"{prefix}.bytes").set(lane.bytes_flushed)
+            registry.counter(f"{prefix}.held_us").set(lane.held_us)
+            registry.counter(f"{prefix}.dropped").set(lane.dropped)
+            reconnects = max(0, lane.connects - 1)
+            registry.counter(f"{prefix}.reconnects").set(reconnects)
+            registry.gauge(f"{prefix}.queue_lag").set(lane.queue.qsize())
+            total_flushes += lane.flushes
+            total_frames += lane.frames_flushed
+            total_bytes += lane.bytes_flushed
+            total_held += lane.held_us
+            total_dropped += lane.dropped
+            total_reconnects += reconnects
+            max_queue = max(max_queue, lane.queue.qsize())
+        registry.counter("transport.flushes").set(total_flushes)
+        registry.counter("transport.frames_flushed").set(total_frames)
+        registry.counter("transport.bytes_flushed").set(total_bytes)
+        registry.counter("transport.held_us").set(total_held)
+        registry.counter("transport.dropped").set(total_dropped)
+        registry.counter("transport.reconnects").set(total_reconnects)
+        registry.gauge("transport.queue_lag").set(max_queue)
+
     def _loopback(self, message: object) -> None:
         delay = self.latency.of(self.node_id, self.node_id)
         loop = asyncio.get_event_loop()
@@ -392,6 +433,7 @@ class NetTransport:
                 # listener that accepts and immediately resets must
                 # keep escalating the backoff, not spin at full speed.
                 backoff = BACKOFF_INITIAL
+                lane.connects += 1
                 loop = asyncio.get_event_loop()
                 # The dial round-trip (SYN handshake + flushed Hello)
                 # is the reconnect path's RTT observation — the only

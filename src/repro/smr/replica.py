@@ -252,7 +252,15 @@ class Replica(SimNode):
         duplicates the executor must then discard.
         """
         del slot
-        return self.mempool.next_batch(exclude=self.in_flight.txids_on(parent))
+        batch = self.mempool.next_batch(exclude=self.in_flight.txids_on(parent))
+        if self.trackers is not None and batch:
+            now = self._ctx.now if self._ctx is not None else 0.0
+            self.trackers.record_proposal(
+                self.node_id,
+                tuple(txn.txid for txn in batch if isinstance(txn, Transaction)),
+                now,
+            )
+        return batch
 
     def _execute_block(self, block: Block) -> None:
         """Apply one finalized block in chain order."""

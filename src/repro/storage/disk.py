@@ -62,6 +62,11 @@ class DiskStorage:
         #: Blocks handed back by the last :meth:`recover` (evidence the
         #: restart replayed local state; reported in CollectReply).
         self.recovered_blocks = 0
+        #: Snapshots written (and WAL compactions performed — one per
+        #: snapshot) over this storage's lifetime; the snapshot-cadence
+        #: signal the obs registry exports.
+        self.snapshots_taken = 0
+        self.compactions = 0
 
     # -- recovery -------------------------------------------------------------
 
@@ -129,9 +134,30 @@ class DiskStorage:
         self.wal.compact(image.tip_slot, seal)
         self._snapshot_slot = image.tip_slot
         self._since_snapshot = 0
+        self.snapshots_taken += 1
+        self.compactions += 1
 
     def flush(self) -> None:
         self.wal.flush()
+
+    def publish_metrics(self, registry) -> None:
+        """Write the durability counters into an obs registry.
+
+        ``storage.fsyncs`` / ``storage.wal_bytes`` are the WAL's group
+        commits and appended bytes; ``storage.snapshots`` /
+        ``storage.compactions`` the snapshot cadence;
+        ``storage.since_snapshot`` how deep into the current interval
+        the replica is (a live gauge — together with the snapshot
+        counter it reconstructs the cadence).
+        """
+        registry.counter("storage.fsyncs").set(self.wal.flushes)
+        registry.counter("storage.wal_records").set(self.wal.records_written)
+        registry.counter("storage.wal_bytes").set(self.wal.bytes_written)
+        registry.counter("storage.snapshots").set(self.snapshots_taken)
+        registry.counter("storage.compactions").set(self.compactions)
+        registry.counter("storage.recovered_blocks").set(self.recovered_blocks)
+        registry.gauge("storage.since_snapshot").set(self._since_snapshot)
+        registry.gauge("storage.snapshot_slot").set(self._snapshot_slot)
 
     def close(self) -> None:
         self.wal.close()

@@ -26,7 +26,7 @@ _SPEC.loader.exec_module(check_regression)
 
 
 def _net_row(rate: float, scenario: str = "lan") -> dict:
-    return {
+    row = {
         "engine": "tetrabft",
         "workload": "uniform",
         "scenario": scenario,
@@ -34,6 +34,9 @@ def _net_row(rate: float, scenario: str = "lan") -> dict:
         "txns_per_sec": rate,
         "wall_seconds": 1.0,  # comfortably above --min-wall: gated
     }
+    # Fresh rows must carry the scraped obs columns (presence-gated).
+    row.update(dict.fromkeys(check_regression.REQUIRED_NET_OBS_COLUMNS, 0.0))
+    return row
 
 
 def _write(directory: Path, stem: str, records: dict) -> None:
@@ -136,6 +139,53 @@ def test_grown_ceiling_fails_and_shrunk_ceiling_passes(dirs):
     regressions, _ = compare(baseline, fresh)
     assert len(regressions) == 1 and "[ceiling]" in regressions[0]
     _write(fresh, "smr", {"smr_smoke": [row(5.0)]})
+    regressions, _ = compare(baseline, fresh)
+    assert regressions == []
+
+
+def test_fresh_smoke_row_missing_obs_columns_hard_fails(dirs):
+    """The obs satellite contract: a fresh net_smoke row without the
+    scraped metric columns means the scrape plumbing silently broke.
+    Presence-gated only — values are free to vary."""
+    baseline, fresh = dirs
+    good = _net_row(100.0)
+    bad = _net_row(100.0, "capacity")
+    del bad["queue_lag"]
+    del bad["fsyncs"]
+    _write(baseline, "net", {"net_smoke": [good]})
+    _write(fresh, "net", {"net_smoke": [good, bad]})
+    regressions, _ = compare(baseline, fresh)
+    assert len(regressions) == 1
+    assert "missing scraped metric column" in regressions[0]
+    assert "queue_lag" in regressions[0] and "fsyncs" in regressions[0]
+
+
+def test_obs_columns_are_not_value_gated(dirs):
+    """A zero or wildly different scraped value never fails the gate."""
+    baseline, fresh = dirs
+    base = _net_row(100.0)
+    base["commit_rate"] = 500.0
+    new = _net_row(100.0)
+    new["commit_rate"] = 0.0
+    _write(baseline, "net", {"net_smoke": [base]})
+    _write(fresh, "net", {"net_smoke": [new]})
+    regressions, _ = compare(baseline, fresh)
+    assert regressions == []
+
+
+def test_obs_columns_not_required_on_stale_grid_keys(dirs):
+    """Only net_smoke — the key every CI run rewrites — is checked, so
+    an old committed heavy-grid record cannot false-fail the gate."""
+    baseline, fresh = dirs
+    old_grid_row = {
+        "engine": "tetrabft",
+        "workload": "uniform",
+        "scenario": "lan",
+        "n": 7,
+        "txns_per_sec": 50.0,
+    }
+    _write(baseline, "net", {"net_smoke": [_net_row(100.0)]})
+    _write(fresh, "net", {"net_smoke": [_net_row(100.0)], "net_grid": [old_grid_row]})
     regressions, _ = compare(baseline, fresh)
     assert regressions == []
 

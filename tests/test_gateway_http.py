@@ -21,7 +21,7 @@ from repro.gateway.http import (
     websocket_accept_value,
 )
 from repro.gateway.service import GatewayConfig, GatewayService
-from repro.net.codec import CommitAck
+from repro.net.codec import CommitAck, MetricsReply
 
 from tests.test_gateway_service import FakeClock, StubPool, _chain, _reply
 
@@ -198,6 +198,38 @@ def test_state_chain_health_and_metrics_routes():
         assert nothing.status == 404
         wrong_verb = await client.request("GET", "/v1/transactions")
         assert wrong_verb.status == 405
+        client.close()
+        await service.stop()
+        await server.stop()
+
+    run(scenario)
+
+
+def test_cluster_metrics_route_serves_the_scrape():
+    async def scenario():
+        server, service, pool = await _started_server()
+        pool.canned_scrapes = {
+            node_id: MetricsReply(
+                node_id=node_id,
+                items=(("consensus.commits", 5.0), ("storage.fsyncs", 2.0)),
+                events=1,
+            )
+            for node_id in range(4)
+        }
+        client = HTTPClient(server.host, server.port)
+        view = await client.request("GET", "/v1/cluster/metrics")
+        assert view.status == 200
+        body = view.json()
+        assert sorted(body["replicas"]) == ["0", "1", "2", "3"]
+        assert body["replicas"]["0"]["metrics"]["consensus.commits"] == 5.0
+        assert "gateway.submitted" in body["gateway"]
+        wrong_verb = await client.request("POST", "/v1/cluster/metrics", payload={})
+        assert wrong_verb.status == 405
+        # A dead cluster is a 503 with a structured error, not a crash.
+        pool.scrape_error = OSError("no replicas")
+        down = await client.request("GET", "/v1/cluster/metrics")
+        assert down.status == 503
+        assert down.json()["error"]["code"] == "scrape_failed"
         client.close()
         await service.stop()
         await server.stop()

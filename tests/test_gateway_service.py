@@ -24,7 +24,13 @@ from repro.gateway.service import (
     GatewayService,
     SnapshotUnavailable,
 )
-from repro.net.codec import ClientSubmit, ClientSubmitBatch, CollectReply, CommitAck
+from repro.net.codec import (
+    ClientSubmit,
+    ClientSubmitBatch,
+    CollectReply,
+    CommitAck,
+    MetricsReply,
+)
 from repro.smr.kvstore import KVStore
 from repro.smr.mempool import Transaction
 from repro.multishot.block import GENESIS_DIGEST, Block
@@ -50,6 +56,8 @@ class StubPool:
         self.on_death = None
         self.sent: list[object] = []
         self.canned_snapshots: dict[int, CollectReply] = {}
+        self.canned_scrapes: dict[int, MetricsReply] = {}
+        self.scrape_error: Exception | None = None
         self.started = False
 
     def start_run(self) -> None:
@@ -66,6 +74,11 @@ class StubPool:
 
     async def snapshot(self, timeout=None) -> dict[int, CollectReply]:
         return dict(self.canned_snapshots)
+
+    async def scrape(self, timeout=None) -> dict[int, MetricsReply]:
+        if self.scrape_error is not None:
+            raise self.scrape_error
+        return dict(self.canned_scrapes)
 
 
 def _txn(i: int, op: tuple = ("noop",)) -> Transaction:
@@ -476,6 +489,48 @@ def test_metrics_and_health_summarize_the_service():
         # Losing all but one replica degrades health (quorum is 2).
         pool.live = {0}
         assert service.health()["status"] == "degraded"
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_metrics_view_is_backed_by_the_registry():
+    """The counters the routes expose ARE registry counters — one
+    source of truth, surfaced flat for the old callers and under
+    ``registry`` (gateway.* namespace) for scrape consumers."""
+
+    async def scenario():
+        service, _pool, _clock = _service(n=4, rate=1000.0, burst=1000.0)
+        await service.start(start_consensus=False)
+        service.submit("alice", _txn(0))
+        metrics = service.metrics()
+        assert metrics["submitted"] == 1
+        assert metrics["registry"]["gateway.submitted"] == 1.0
+        assert service.registry.counter("gateway.submitted").value == 1.0
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_cluster_metrics_aggregates_per_replica_scrapes():
+    async def scenario():
+        service, pool, _clock = _service(n=4)
+        await service.start(start_consensus=False)
+        pool.canned_scrapes = {
+            node_id: MetricsReply(
+                node_id=node_id,
+                items=(("consensus.commits", 7.0),),
+                events=3,
+            )
+            for node_id in range(4)
+        }
+        view = await service.cluster_metrics()
+        assert sorted(view["replicas"]) == ["0", "1", "2", "3"]
+        replica = view["replicas"]["2"]
+        assert replica["metrics"]["consensus.commits"] == 7.0
+        assert replica["events"] == 3
+        assert view["replicas_live"] == 4
+        assert "gateway.submitted" in view["gateway"]
         await service.stop()
 
     asyncio.run(scenario())

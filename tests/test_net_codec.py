@@ -55,6 +55,8 @@ from repro.net.codec import (
     CommitAck,
     FrameBuffer,
     Hello,
+    MetricsReply,
+    MetricsRequest,
     SnapshotImage,
     SnapshotRequest,
     StartRun,
@@ -127,6 +129,13 @@ def _snapshot_image(rng: random.Random) -> SnapshotImage:
     )
 
 
+def _metric_items(rng: random.Random) -> tuple:
+    """A sorted obs-metrics payload, the shape
+    :meth:`repro.obs.MetricsRegistry.snapshot_items` emits."""
+    names = sorted({f"m.{rng.randrange(32)}" for _ in range(rng.randrange(0, 8))})
+    return tuple((name, rng.random() * 1000) for name in names)
+
+
 GENERATORS = {
     Hello: lambda rng: Hello(rng.randrange(0, 128)),
     ClientSubmit: lambda rng: ClientSubmit(_txn(rng)),
@@ -146,21 +155,13 @@ GENERATORS = {
         applied_txids=tuple(f"tx-{k}" for k in range(rng.randrange(0, 6))),
         blocks_applied=rng.randrange(0, 100),
         txns_applied=rng.randrange(0, 1000),
-        frames_in=rng.randrange(0, 5000),
-        messages_in=rng.randrange(0, 20000),
-        cpu_seconds=rng.random() * 10,
-        run_seconds=rng.random() * 20,
-        flush_stats=tuple(
-            (
-                peer,
-                rng.randrange(0, 500),
-                rng.randrange(0, 2000),
-                rng.randrange(0, 1 << 20),
-                rng.randrange(0, 1 << 20),
-            )
-            for peer in range(rng.randrange(0, 4))
-        ),
-        recovered_blocks=rng.randrange(0, 200),
+        metrics=_metric_items(rng),
+    ),
+    MetricsRequest: lambda rng: MetricsRequest(),
+    MetricsReply: lambda rng: MetricsReply(
+        node_id=rng.randrange(0, 16),
+        items=_metric_items(rng),
+        events=rng.randrange(0, 256),
     ),
     StateTransferRequest: lambda rng: StateTransferRequest(since_slot=rng.randrange(0, 500)),
     StateTransferReply: lambda rng: StateTransferReply(
@@ -291,19 +292,33 @@ def test_encoding_is_deterministic_across_codec_instances():
 
 
 def test_golden_frame_pins_the_wire_format():
-    """v4 bytes are a contract: changing them must bump WIRE_VERSION."""
-    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7040024490000000000000007"
+    """v5 bytes are a contract: changing them must bump WIRE_VERSION."""
+    assert WIRE_CODEC.encode(ViewChange(7)).hex() == "b7050024490000000000000007"
     assert (
         WIRE_CODEC.encode_frame(MSVote(3, 1, "abcd")).hex()
-        == "0000001fb7040031490000000000000003490000000000000001530000000461626364"
+        == "0000001fb7050031490000000000000003490000000000000001530000000461626364"
     )
     # Aggregated frame: one envelope, two nested (C-tagged) messages.
     assert WIRE_CODEC.encode_frame(
         VoteBatch((MSVote(3, 1, "abcd"), MSViewChange(4, 2)))
     ).hex() == (
-        "0000003cb70400355500000002"
+        "0000003cb70500355500000002"
         "430031490000000000000003490000000000000001530000000461626364"
         "430032490000000000000004490000000000000002"
+    )
+
+
+def test_golden_metrics_frames_pin_the_scrape_format():
+    """The in-band scrape types are part of the same pinned contract:
+    the operator tooling (``python -m repro obs``, the gateway's
+    ``/v1/cluster/metrics``) must interoperate across builds."""
+    assert WIRE_CODEC.encode(MetricsRequest()).hex() == "b705000b"
+    assert WIRE_CODEC.encode(
+        MetricsReply(node_id=2, items=(("consensus.commits", 40.0),), events=5)
+    ).hex() == (
+        "b705000c490000000000000002"
+        "550000000155000000025300000011636f6e73656e7375732e636f6d6d697473"
+        "444044000000000000490000000000000005"
     )
 
 
@@ -313,14 +328,14 @@ def test_golden_durability_frames_pin_the_wal_format():
     every existing data dir, not just break a live connection)."""
     block = Block(slot=1, parent="genesis", payload=(), digest="d1")
     assert WIRE_CODEC.encode(WalAppend(seq=5, block=block)).hex() == (
-        "b7040050490000000000000005"
+        "b7050050490000000000000005"
         "430011490000000000000001530000000767656e65736973550000000053000000026431"
     )
     assert WIRE_CODEC.encode(WalSeal(seq=6, upto_slot=1, state_digest="sd")).hex() == (
-        "b704005149000000000000000649000000000000000153000000027364"
+        "b705005149000000000000000649000000000000000153000000027364"
     )
     assert WIRE_CODEC.encode(StateTransferRequest(since_slot=3)).hex() == (
-        "b7040009490000000000000003"
+        "b7050009490000000000000003"
     )
 
 

@@ -38,6 +38,8 @@ _ALL_KEYS = (
     "REPRO_DATA_DIR",
     "REPRO_WAL_FSYNC_WINDOW",
     "REPRO_SNAPSHOT_INTERVAL",
+    "REPRO_NO_OBS",
+    "REPRO_EVENT_LOG",
 )
 
 
@@ -167,3 +169,32 @@ def test_bad_durability_values_are_configuration_errors(monkeypatch, key, raw, m
 def test_from_env_accepts_explicit_mapping():
     config = ReproConfig.from_env({"REPRO_NO_BATCH": "1", "REPRO_SNAPSHOT_INTERVAL": "3"})
     assert config.no_batch is True and config.snapshot_interval == 3
+
+
+# -- observability knobs ------------------------------------------------------
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "yes", "TRUE"])
+def test_obs_flags_enable_with_the_tri_spelling(monkeypatch, raw):
+    """``REPRO_NO_OBS`` / ``REPRO_EVENT_LOG`` parse like every other
+    flag — and both participate in the cache fingerprint, so replica
+    subprocesses that mutate env re-parse them."""
+    monkeypatch.setenv("REPRO_NO_OBS", raw)
+    monkeypatch.setenv("REPRO_EVENT_LOG", raw)
+    config = repro_config()
+    assert config.no_obs is True and config.event_log is True
+
+
+def test_obs_flags_default_off(monkeypatch):
+    config = repro_config()
+    assert config.no_obs is False and config.event_log is False
+    monkeypatch.setenv("REPRO_NO_OBS", "0")
+    assert repro_config().no_obs is False
+
+
+def test_obs_flags_track_env_mutation(monkeypatch):
+    assert repro_config().event_log is False
+    monkeypatch.setenv("REPRO_EVENT_LOG", "1")
+    assert repro_config().event_log is True
+    monkeypatch.delenv("REPRO_EVENT_LOG")
+    assert repro_config().event_log is False
